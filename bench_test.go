@@ -1,0 +1,270 @@
+// Benchmarks regenerating the paper's evaluation artifacts as testing.B
+// benches — one benchmark family per figure/table, plus the ablations.
+// go test -bench reports real ns/op of the full stack (crypto and engines
+// execute for real) and, via ReportMetric, the virtual-time bandwidth
+// that corresponds to the paper's y-axes. cmd/benchfig runs the full
+// high-resolution sweep.
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crypto/eme"
+	"repro/internal/crypto/essiv"
+	"repro/internal/crypto/xts"
+	"repro/internal/dmcrypt"
+	"repro/internal/fio"
+	"repro/internal/rados"
+	"repro/internal/rbd"
+	"repro/internal/simdisk"
+	"repro/internal/vtime"
+)
+
+// benchCluster builds a small paper-shaped cluster (3 OSDs, fewer disks
+// to keep bench setup fast) with an encrypted, preconditioned image.
+func benchCluster(b *testing.B, scheme core.Scheme, layout core.Layout) (*core.EncryptedImage, vtime.Time, func()) {
+	b.Helper()
+	cfg := rados.DefaultClusterConfig()
+	cfg.DisksPerOSD = 3
+	cfg.DiskSectors = (4 << 30) / simdisk.SectorSize
+	cfg.PGNum = 64
+	cfg.EphemeralData = true
+	cluster, err := rados.NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := cluster.NewClient("bench")
+	if _, err := rbd.Create(0, client, "rbd", "img", 256<<20); err != nil {
+		b.Fatal(err)
+	}
+	img, _, err := rbd.Open(0, client, "rbd", "img")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := core.Format(0, img, []byte("b"), core.Options{Scheme: scheme, Layout: layout}); err != nil {
+		b.Fatal(err)
+	}
+	enc, _, err := core.Load(0, img, []byte("b"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	now, err := fio.Precondition(enc, 0, core.DefaultBlockSize, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return enc, now, cluster.Close
+}
+
+func figureSchemes() []struct {
+	Name   string
+	Scheme core.Scheme
+	Layout core.Layout
+} {
+	return []struct {
+		Name   string
+		Scheme core.Scheme
+		Layout core.Layout
+	}{
+		{"LUKS2", core.SchemeLUKS2, core.LayoutNone},
+		{"Unaligned", core.SchemeXTSRand, core.LayoutUnaligned},
+		{"ObjectEnd", core.SchemeXTSRand, core.LayoutObjectEnd},
+		{"OMAP", core.SchemeXTSRand, core.LayoutOMAP},
+	}
+}
+
+func runFigureBench(b *testing.B, pattern fio.Pattern, scheme core.Scheme, layout core.Layout, kb int64) {
+	enc, now, closeFn := benchCluster(b, scheme, layout)
+	defer closeFn()
+	b.ResetTimer()
+	res, err := fio.Run(fio.Spec{
+		Pattern:    pattern,
+		BlockSize:  kb << 10,
+		QueueDepth: 32,
+		TotalOps:   b.N,
+	}, enc, now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.SetBytes(kb << 10)
+	b.ReportMetric(res.MBps(), "virtualMB/s")
+	b.ReportMetric(float64(res.Latencies.P99.Microseconds()), "p99_us")
+}
+
+// BenchmarkFig3aReadBandwidth regenerates Figure 3a points.
+func BenchmarkFig3aReadBandwidth(b *testing.B) {
+	for _, s := range figureSchemes() {
+		for _, kb := range []int64{4, 64, 1024} {
+			b.Run(fmt.Sprintf("%s/%dK", s.Name, kb), func(b *testing.B) {
+				runFigureBench(b, fio.RandRead, s.Scheme, s.Layout, kb)
+			})
+		}
+	}
+}
+
+// BenchmarkFig3bWriteBandwidth regenerates Figure 3b points.
+func BenchmarkFig3bWriteBandwidth(b *testing.B) {
+	for _, s := range figureSchemes() {
+		for _, kb := range []int64{4, 64, 1024} {
+			b.Run(fmt.Sprintf("%s/%dK", s.Name, kb), func(b *testing.B) {
+				runFigureBench(b, fio.RandWrite, s.Scheme, s.Layout, kb)
+			})
+		}
+	}
+}
+
+// BenchmarkFig4WriteOverhead reports the Figure 4 metric directly: the
+// write slowdown of each IV placement vs the LUKS2 baseline at one size.
+func BenchmarkFig4WriteOverhead(b *testing.B) {
+	for _, s := range figureSchemes()[1:] {
+		b.Run(s.Name+"/64K", func(b *testing.B) {
+			base, baseNow, baseClose := benchCluster(b, core.SchemeLUKS2, core.LayoutNone)
+			defer baseClose()
+			enc, now, closeFn := benchCluster(b, s.Scheme, s.Layout)
+			defer closeFn()
+			b.ResetTimer()
+			spec := fio.Spec{Pattern: fio.RandWrite, BlockSize: 64 << 10, QueueDepth: 32, TotalOps: b.N}
+			rb, err := fio.Run(spec, base, baseNow)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rs, err := fio.Run(spec, enc, now)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if rb.MBps() > 0 {
+				b.ReportMetric(100*(1-rs.MBps()/rb.MBps()), "overhead_%")
+			}
+		})
+	}
+}
+
+// BenchmarkSequentialVsRandom checks the §3.3 note that sequential IO
+// behaves like random IO at large sizes.
+func BenchmarkSequentialVsRandom(b *testing.B) {
+	for _, pattern := range []fio.Pattern{fio.RandWrite, fio.SeqWrite} {
+		b.Run(pattern.String()+"/1024K", func(b *testing.B) {
+			runFigureBench(b, pattern, core.SchemeXTSRand, core.LayoutObjectEnd, 1024)
+		})
+	}
+}
+
+// BenchmarkTheoreticalSectorCounts exercises the §3.3 analytic model (it
+// is pure computation; the numbers are what matter — see EXPERIMENTS.md).
+func BenchmarkTheoreticalSectorCounts(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		for _, kb := range []int64{4, 32, 4096} {
+			sink += core.SectorCount(core.LayoutObjectEnd, kb<<10, 4096, 16)
+			sink += core.SectorCount(core.LayoutUnaligned, kb<<10, 4096, 16)
+		}
+	}
+	if sink == 0 {
+		b.Fatal("unexpected")
+	}
+}
+
+// BenchmarkCipherModes compares the sector ciphers of §2 on real CPU:
+// XTS (narrow block), ESSIV-CBC (historical), EME2-style (wide block),
+// and GCM (authenticated). This is ablation A-C.
+func BenchmarkCipherModes(b *testing.B) {
+	key64 := bytes.Repeat([]byte{7}, 64)
+	pt := make([]byte, 4096)
+	ct := make([]byte, 4096)
+	for i := range pt {
+		pt[i] = byte(i)
+	}
+
+	b.Run("xts-4K", func(b *testing.B) {
+		c, err := xts.NewCipher(key64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(4096)
+		for i := 0; i < b.N; i++ {
+			if err := c.Encrypt(ct, pt, xts.SectorTweak(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("essiv-cbc-4K", func(b *testing.B) {
+		c, err := essiv.New(key64[:32])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(4096)
+		for i := 0; i < b.N; i++ {
+			if err := c.EncryptSector(ct, pt, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("eme2-wide-4K", func(b *testing.B) {
+		c, err := eme.New(key64[:32])
+		if err != nil {
+			b.Fatal(err)
+		}
+		var tweak [16]byte
+		b.SetBytes(4096)
+		for i := 0; i < b.N; i++ {
+			tweak[0] = byte(i)
+			if err := c.Encrypt(ct, pt, tweak); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDmIntegrityJournal is ablation A-J: the §2.3 related-work
+// configuration (dm-crypt + dm-integrity) with and without the journal,
+// demonstrating the ~2x slowdown the paper contrasts with its
+// transaction-based approach.
+func BenchmarkDmIntegrityJournal(b *testing.B) {
+	for _, journaled := range []bool{false, true} {
+		name := "direct"
+		if journaled {
+			name = "journaled"
+		}
+		b.Run(name+"/64K", func(b *testing.B) {
+			disk := simdisk.New("nvme", (2<<30)/simdisk.SectorSize, simdisk.DefaultCostModel())
+			g := dmcrypt.NewIntegrity(dmcrypt.DiskDevice{Disk: disk}, journaled)
+			c, err := dmcrypt.NewCryptRandIV(g, bytes.Repeat([]byte{3}, 64))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res, err := fio.Run(fio.Spec{
+				Pattern: fio.RandWrite, BlockSize: 64 << 10, QueueDepth: 8, TotalOps: b.N,
+			}, c, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.SetBytes(64 << 10)
+			b.ReportMetric(res.MBps(), "virtualMB/s")
+		})
+	}
+}
+
+// BenchmarkLayoutPlanning measures the pure client-side cost of building
+// the per-object op vectors (no cluster involved) — the CPU the paper's
+// modification adds to libRBD.
+func BenchmarkLayoutPlanning(b *testing.B) {
+	enc, _, closeFn := benchCluster(b, core.SchemeXTSRand, core.LayoutObjectEnd)
+	defer closeFn()
+	buf := make([]byte, 64<<10)
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	now := vtime.Time(1 << 40)
+	for i := 0; i < b.N; i++ {
+		end, err := enc.WriteAt(now, buf, int64(i%64)<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = end
+	}
+}

@@ -1,0 +1,102 @@
+// Command benchfig regenerates the paper's figures and tables on the
+// simulated cluster. Each run prints paper-style tables; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	benchfig -fig all                 # everything
+//	benchfig -fig 3a                  # read bandwidth (Fig. 3a)
+//	benchfig -fig 3b                  # write bandwidth (Fig. 3b)
+//	benchfig -fig 4                   # write overhead (Fig. 4)
+//	benchfig -fig sectors             # §3.3 sector-count table
+//	benchfig -fig ext                 # GCM/EME2 extension sweep
+//	benchfig -sizes 4,64,1024 -image 256 -budget 32   # quick look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/rados"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "which artifact: 3a, 3b, 4, sectors, ext, all")
+		sizes   = flag.String("sizes", "", "comma-separated IO sizes in KiB (default: the paper's 4..4096)")
+		imageMB = flag.Int64("image", 1024, "image size in MiB")
+		budget  = flag.Int64("budget", 128, "per-point IO budget in MiB")
+		qd      = flag.Int("qd", 32, "queue depth (paper: 32)")
+		csv     = flag.Bool("csv", false, "also print CSV")
+		quiet   = flag.Bool("quiet", false, "suppress per-point progress")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.ImageBytes = *imageMB << 20
+	cfg.OpsBudgetBytes = *budget << 20
+	cfg.QueueDepth = *qd
+	if *sizes != "" {
+		cfg.IOSizesKB = nil
+		for _, tok := range strings.Split(*sizes, ",") {
+			kb, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || kb <= 0 {
+				fmt.Fprintf(os.Stderr, "benchfig: bad size %q\n", tok)
+				os.Exit(2)
+			}
+			cfg.IOSizesKB = append(cfg.IOSizesKB, kb)
+		}
+	}
+
+	if *fig == "sectors" {
+		fmt.Print(bench.SectorTable())
+		return
+	}
+	if *fig == "ext" {
+		cfg.Schemes = bench.ExtensionSchemes()
+		// The authenticated scheme must read back real ciphertext, so the
+		// data areas cannot be cost-only; keep the image modest.
+		cfg.Cluster = func() rados.ClusterConfig {
+			c := bench.PaperCluster()
+			c.EphemeralData = false
+			return c
+		}
+		if *imageMB > 384 {
+			fmt.Fprintln(os.Stderr, "benchfig: ext retains data in RAM; capping image at 384 MiB")
+			cfg.ImageBytes = 384 << 20
+		}
+	}
+
+	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if *quiet {
+		progress = nil
+	}
+	reads, writes, err := bench.Sweep(cfg, progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+		os.Exit(1)
+	}
+
+	show := func(name string) bool { return *fig == "all" || *fig == "ext" || *fig == name }
+	if show("3a") {
+		fmt.Println(bench.FormatSeries("Figure 3a: random read bandwidth", reads))
+	}
+	if show("3b") {
+		fmt.Println(bench.FormatSeries("Figure 3b: random write bandwidth", writes))
+	}
+	if show("4") {
+		fmt.Println(bench.FormatOverhead("Figure 4: write performance overhead", writes, "LUKS2"))
+	}
+	if *fig == "all" {
+		fmt.Println(bench.FormatOverhead("Read overhead (§3.3: object end within ~3%)", reads, "LUKS2"))
+		fmt.Println(bench.SectorTable())
+	}
+	if *csv {
+		fmt.Println(bench.CSV(reads))
+		fmt.Println(bench.CSV(writes))
+	}
+}

@@ -1,0 +1,86 @@
+// Command fiosim runs a single fio-style workload against a chosen
+// scheme/layout on the paper-shaped simulated cluster and prints the
+// measurement — the counterpart of one fio invocation in §3.3.
+//
+// Usage:
+//
+//	fiosim -rw randwrite -bs 64 -qd 32 -ops 2000 -scheme xts-rand -layout object-end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/fio"
+	"repro/internal/rados"
+	"repro/internal/rbd"
+)
+
+func main() {
+	var (
+		rw         = flag.String("rw", "randwrite", "randread | randwrite | read | write")
+		bsKB       = flag.Int64("bs", 64, "block size in KiB")
+		qd         = flag.Int("qd", 32, "queue depth")
+		ops        = flag.Int("ops", 1000, "total operations")
+		imageMB    = flag.Int64("image", 512, "image size in MiB")
+		schemeName = flag.String("scheme", "xts-rand", "cipher scheme")
+		layoutName = flag.String("layout", "object-end", "IV layout")
+	)
+	flag.Parse()
+
+	pattern, err := fio.ParsePattern(*rw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scheme, err := core.ParseScheme(*schemeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout, err := core.ParseLayout(*layoutName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluster, err := rados.NewCluster(bench.PaperCluster())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client := cluster.NewClient("fiosim")
+	if _, err := rbd.Create(0, client, "rbd", "img", *imageMB<<20); err != nil {
+		log.Fatal(err)
+	}
+	img, _, err := rbd.Open(0, client, "rbd", "img")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := core.Format(0, img, []byte("x"), core.Options{Scheme: scheme, Layout: layout}); err != nil {
+		log.Fatal(err)
+	}
+	enc, _, err := core.Load(0, img, []byte("x"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	now, err := fio.Precondition(enc, 0, core.DefaultBlockSize, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("preconditioned %d MiB image (%v/%v)\n", *imageMB, scheme, layout)
+
+	res, err := fio.Run(fio.Spec{
+		Pattern:    pattern,
+		BlockSize:  *bsKB << 10,
+		QueueDepth: *qd,
+		TotalOps:   *ops,
+	}, enc, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v (virtual)\n",
+		res.Latencies.P50, res.Latencies.P95, res.Latencies.P99, res.Latencies.Max)
+	fmt.Printf("wall time: %v\n", res.WallTime)
+}

@@ -1,0 +1,95 @@
+// Command rbdctl exercises the image and encryption API on an ephemeral
+// in-process cluster — a demonstration shell for the library in the
+// spirit of the rbd(8) tool.
+//
+// Usage:
+//
+//	rbdctl -scheme xts-rand -layout object-end demo
+//
+// The demo subcommand creates an encrypted image, writes data, snapshots,
+// overwrites, reads both versions back and prints storage-level counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "xts-rand", "luks2 | xts-rand | gcm-auth | eme2-det | eme2-rand")
+		layoutName = flag.String("layout", "object-end", "none | unaligned | object-end | omap")
+		sizeMB     = flag.Int64("size", 64, "image size in MiB")
+	)
+	flag.Parse()
+	if flag.Arg(0) != "demo" {
+		fmt.Fprintln(os.Stderr, "usage: rbdctl [-scheme S] [-layout L] [-size MB] demo")
+		os.Exit(2)
+	}
+	scheme, err := core.ParseScheme(*schemeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout, err := core.ParseLayout(*layoutName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluster, err := repro.NewCluster(repro.TestClusterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client := cluster.NewClient("rbdctl")
+
+	img, err := repro.CreateEncryptedImage(client, "rbd", "demo", *sizeMB<<20,
+		[]byte("demo-passphrase"), repro.Options{Scheme: scheme, Layout: layout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("image: rbd/demo  size=%d MiB  scheme=%v  layout=%v  metadata=%d B/block\n",
+		img.Size()>>20, scheme, layout, img.MetaLen())
+
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(i*7) | 1
+	}
+	if _, err := img.WriteAt(0, data, 0); err != nil {
+		log.Fatal(err)
+	}
+	id, _, err := img.CreateSnap(0, "checkpoint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range data {
+		data[i] = byte(i*13) | 1
+	}
+	if _, err := img.WriteAt(0, data, 0); err != nil {
+		log.Fatal(err)
+	}
+	head := make([]byte, 4096)
+	if _, err := img.ReadAt(0, head, 0); err != nil {
+		log.Fatal(err)
+	}
+	old := make([]byte, 4096)
+	if _, err := img.ReadAtSnap(0, old, 0, id); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot %q id=%d: head[1]=0x%02x snap[1]=0x%02x (independent versions)\n",
+		"checkpoint", id, head[1], old[1])
+
+	disk := cluster.DiskStats()
+	kv := cluster.KVStats()
+	blob := cluster.BlobStats()
+	fmt.Printf("cluster counters:\n")
+	fmt.Printf("  devices: %v\n", disk)
+	fmt.Printf("  objectstore: txns=%d alignedWrites=%d deferredWrites=%d rmwReads=%d\n",
+		blob.Txns, blob.AlignedWrites, blob.DeferredWrites, blob.RMWReads)
+	fmt.Printf("  kv: applies=%d entries=%d flushes=%d compactions=%d walBytes=%d\n",
+		kv.Applies, kv.EntriesWritten, kv.Flushes, kv.Compactions, kv.WALBytes)
+}

@@ -1,0 +1,67 @@
+// Quickstart: bring up a simulated Ceph-like cluster, create an image
+// encrypted with the paper's scheme (random-IV AES-XTS, IVs at the object
+// end), write, read back, snapshot, and show that old data stays
+// decryptable after overwrites.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cluster, err := repro.NewCluster(repro.TestClusterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client := cluster.NewClient("host0")
+
+	img, err := repro.CreateEncryptedImage(client, "rbd", "vol0", 16<<20,
+		[]byte("correct horse battery staple"),
+		repro.Options{Scheme: repro.SchemeXTSRand, Layout: repro.LayoutObjectEnd})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created encrypted image %q: %d MiB, scheme=%v layout=%v metadata=%dB/block\n",
+		img.Image().Name(), img.Size()>>20, img.Options().Scheme, img.Options().Layout, img.MetaLen())
+
+	// Write and read back.
+	v1 := bytes.Repeat([]byte("generation-1 data belongs here! "), 128) // 4 KiB
+	if _, err := img.WriteAt(0, v1, 0); err != nil {
+		log.Fatal(err)
+	}
+	got := make([]byte, len(v1))
+	if _, err := img.ReadAt(0, got, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round trip ok: %v\n", bytes.Equal(got, v1))
+
+	// Snapshot, overwrite, read both versions.
+	snapID, _, err := img.CreateSnap(0, "before-upgrade")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v2 := bytes.Repeat([]byte("generation-2 data overwrote it! "), 128)
+	if _, err := img.WriteAt(0, v2, 0); err != nil {
+		log.Fatal(err)
+	}
+	head := make([]byte, 4096)
+	if _, err := img.ReadAt(0, head, 0); err != nil {
+		log.Fatal(err)
+	}
+	old := make([]byte, 4096)
+	if _, err := img.ReadAtSnap(0, old, 0, snapID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("head sees generation-2: %v\n", bytes.Equal(head, v2))
+	fmt.Printf("snapshot still decrypts generation-1 (IVs version with data): %v\n", bytes.Equal(old, v1))
+
+	// Wrong passphrase is rejected by the LUKS2-style keyslots.
+	if _, err := repro.OpenEncryptedImage(client, "rbd", "vol0", []byte("wrong")); err != nil {
+		fmt.Printf("wrong passphrase rejected: %v\n", err)
+	}
+}

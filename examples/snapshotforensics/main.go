@@ -1,0 +1,116 @@
+// Snapshot forensics: the paper's §1 motivation made concrete.
+//
+// With the deterministic LUKS2 baseline, snapshots keep multiple versions
+// of a sector encrypted under the SAME IV, so an attacker holding the raw
+// storage can (a) tell exactly which 16-byte sub-blocks changed between
+// versions and (b) splice sub-blocks from different versions into a new,
+// perfectly valid ciphertext. With the paper's random IVs, both signals
+// vanish: versions of the same sector are unlinkable.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/rados"
+)
+
+// rawSector fetches stored ciphertext straight from the object store —
+// the attacker's view of the disk.
+func rawSector(img *repro.EncryptedImage, snapID uint64) []byte {
+	res, _, err := img.Image().Operate(0, 0, snapID, []rados.Op{{Kind: rados.OpRead, Off: 0, Len: 4096}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res[0].Data
+}
+
+func diffSubBlocks(a, b []byte) []int {
+	var changed []int
+	for sb := 0; sb < len(a)/16; sb++ {
+		if !bytes.Equal(a[sb*16:(sb+1)*16], b[sb*16:(sb+1)*16]) {
+			changed = append(changed, sb)
+		}
+	}
+	return changed
+}
+
+func scenario(name string, scheme repro.Scheme, layout repro.Layout) {
+	cluster, err := repro.NewCluster(repro.TestClusterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client := cluster.NewClient("host0")
+	img, err := repro.CreateEncryptedImage(client, "rbd", "vol", 4<<20, []byte("pw"),
+		repro.Options{Scheme: scheme, Layout: layout})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A medical record whose "diagnosis field" (sub-block 10) changes.
+	record := make([]byte, 4096)
+	for i := range record {
+		record[i] = byte(i)
+	}
+	if _, err := img.WriteAt(0, record, 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := img.CreateSnap(0, "v1"); err != nil {
+		log.Fatal(err)
+	}
+	record[10*16+3] ^= 0xFF // one byte inside sub-block 10 changes
+	if _, err := img.WriteAt(0, record, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	v1 := rawSector(img, 1)
+	head := rawSector(img, 0)
+	changed := diffSubBlocks(v1, head)
+
+	fmt.Printf("--- %s ---\n", name)
+	switch {
+	case len(changed) == 0:
+		fmt.Println("attacker sees: snapshots identical (no change leaked... or nothing written)")
+	case len(changed) < 16:
+		fmt.Printf("attacker sees: exactly sub-block(s) %v changed -> field-level change tracking!\n", changed)
+	default:
+		fmt.Printf("attacker sees: %d/256 sub-blocks changed -> versions unlinkable\n", len(changed))
+	}
+
+	// Splice attack: combine the two ciphertext versions half-and-half.
+	// Against the deterministic baseline this forges a valid record whose
+	// first half is the OLD value — the change is silently reverted.
+	spliced := append(append([]byte(nil), v1[:2048]...), head[2048:]...)
+	if _, _, err := img.Image().Operate(0, 0, 0, []rados.Op{{Kind: rados.OpWrite, Off: 0, Data: spliced}}); err != nil {
+		log.Fatal(err)
+	}
+	// The forged plaintext the attacker hopes for: pre-change first half
+	// (the flip was in sub-block 10, inside the first half) + current
+	// second half.
+	forged := make([]byte, 4096)
+	for i := range forged {
+		forged[i] = byte(i)
+	}
+	out := make([]byte, 4096)
+	_, rerr := img.ReadAt(0, out, 0)
+	switch {
+	case rerr != nil:
+		fmt.Printf("splice attack: detected and rejected (%v)\n", rerr)
+	case bytes.Equal(out, forged):
+		fmt.Println("splice attack: spliced ciphertext decrypted cleanly -> valid forged record (change reverted)")
+	default:
+		fmt.Println("splice attack: splice decrypts to garbage (foiled by random IV)")
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("The attacker holds the raw storage (snapshots + head) and compares versions.")
+	fmt.Println()
+	scenario("LUKS2 baseline: deterministic XTS, no stored IV", repro.SchemeLUKS2, repro.LayoutNone)
+	scenario("Paper's scheme: random IV stored at object end", repro.SchemeXTSRand, repro.LayoutObjectEnd)
+	scenario("Authenticated: AES-GCM with per-sector nonce+tag", repro.SchemeGCM, repro.LayoutObjectEnd)
+}

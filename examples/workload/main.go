@@ -1,0 +1,61 @@
+// Workload: a miniature Figure 3 — run fio-style random read/write sweeps
+// against two schemes on a small simulated cluster and print the measured
+// virtual-time bandwidth side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/fio"
+)
+
+func main() {
+	schemes := []struct {
+		name   string
+		scheme repro.Scheme
+		layout repro.Layout
+	}{
+		{"LUKS2 (baseline)", repro.SchemeLUKS2, repro.LayoutNone},
+		{"XTS random IV @ object end", repro.SchemeXTSRand, repro.LayoutObjectEnd},
+	}
+
+	fmt.Printf("%-28s %10s %12s %12s %10s\n", "scheme", "io size", "write MB/s", "read MB/s", "p99 write")
+	for _, s := range schemes {
+		cluster, err := repro.NewCluster(repro.TestClusterConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		client := cluster.NewClient("host0")
+		img, err := repro.CreateEncryptedImage(client, "rbd", "bench", 64<<20, []byte("pw"),
+			repro.Options{Scheme: s.scheme, Layout: s.layout})
+		if err != nil {
+			log.Fatal(err)
+		}
+		now, err := fio.Precondition(img, 0, 4096, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, kb := range []int64{4, 64, 1024} {
+			w, err := repro.RunWorkload(repro.WorkloadSpec{
+				Pattern: fio.RandWrite, BlockSize: kb << 10, QueueDepth: 32, TotalOps: 400,
+			}, img, now)
+			if err != nil {
+				log.Fatal(err)
+			}
+			now = w.End
+			r, err := repro.RunWorkload(repro.WorkloadSpec{
+				Pattern: fio.RandRead, BlockSize: kb << 10, QueueDepth: 32, TotalOps: 400,
+			}, img, now)
+			if err != nil {
+				log.Fatal(err)
+			}
+			now = r.End
+			fmt.Printf("%-28s %7d K %12.1f %12.1f %10v\n",
+				s.name, kb, w.MBps(), r.MBps(), w.Latencies.P99.Round(1000))
+		}
+		cluster.Close()
+	}
+	fmt.Println("\n(virtual-time bandwidth; see cmd/benchfig for the full Figure 3/4 sweep)")
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rados"
+	"repro/internal/simdisk"
+)
+
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.IOSizesKB = []int{4, 64}
+	cfg.ImageBytes = 64 << 20
+	cfg.OpsBudgetBytes = 2 << 20
+	cfg.MinOps = 32
+	cfg.MaxOps = 64
+	cfg.Cluster = func() rados.ClusterConfig {
+		c := rados.DefaultClusterConfig()
+		c.DisksPerOSD = 2
+		c.DiskSectors = (1 << 30) / simdisk.SectorSize
+		c.PGNum = 16
+		c.EphemeralData = true
+		c.Blob.KVBytes = 256 << 20
+		c.Blob.KV.WALBytes = 16 << 20
+		return c
+	}
+	cfg.Schemes = PaperSchemes()[:2] // LUKS2 + Unaligned keeps it quick
+	return cfg
+}
+
+func TestSweepProducesAllPoints(t *testing.T) {
+	cfg := tinyConfig()
+	var progressLines int
+	reads, writes, err := Sweep(cfg, func(string) { progressLines++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Series{reads, writes} {
+		for _, scheme := range s.Schemes {
+			for _, kb := range s.Sizes {
+				p := s.Points[scheme][kb]
+				if p.MBps <= 0 || p.Ops <= 0 {
+					t.Fatalf("%s/%s/%dK missing: %+v", s.Pattern, scheme, kb, p)
+				}
+			}
+		}
+	}
+	if progressLines == 0 {
+		t.Fatal("no progress reported")
+	}
+}
+
+func TestOverheadMath(t *testing.T) {
+	s := &Series{
+		Pattern: "randwrite",
+		Sizes:   []int{4},
+		Schemes: []string{"LUKS2", "X"},
+		Points: map[string]map[int]Point{
+			"LUKS2": {4: {MBps: 100}},
+			"X":     {4: {MBps: 80}},
+		},
+	}
+	ov := Overhead(s, "LUKS2")
+	if got := ov["X"][4]; got < 0.199 || got > 0.201 {
+		t.Fatalf("overhead = %v want 0.2", got)
+	}
+	if _, ok := ov["LUKS2"]; ok {
+		t.Fatal("baseline must not appear in overhead table")
+	}
+	// Missing baseline yields an empty result, not a panic.
+	if got := Overhead(s, "nope"); len(got) != 0 {
+		t.Fatal("unknown baseline should yield empty map")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	s := &Series{
+		Pattern: "randread",
+		Sizes:   []int{4, 64},
+		Schemes: []string{"LUKS2", "OMAP"},
+		Points: map[string]map[int]Point{
+			"LUKS2": {4: {MBps: 100.5}, 64: {MBps: 900}},
+			"OMAP":  {4: {MBps: 90}, 64: {MBps: 800}},
+		},
+	}
+	table := FormatSeries("Fig 3a", s)
+	for _, want := range []string{"Fig 3a", "LUKS2", "OMAP", "100.5", "4 KiB", "64 KiB"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	ov := FormatOverhead("Fig 4", s, "LUKS2")
+	if !strings.Contains(ov, "10.4%") && !strings.Contains(ov, "10.5%") {
+		t.Fatalf("overhead table wrong:\n%s", ov)
+	}
+	csv := CSV(s)
+	if !strings.Contains(csv, "randread,LUKS2,4,100.50") {
+		t.Fatalf("csv wrong:\n%s", csv)
+	}
+	sect := SectorTable()
+	if !strings.Contains(sect, "4 KiB") || !strings.Contains(sect, "Object end") {
+		t.Fatalf("sector table wrong:\n%s", sect)
+	}
+}
+
+func TestSweepRejectsEmpty(t *testing.T) {
+	if _, _, err := Sweep(Config{}, nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}

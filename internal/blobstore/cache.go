@@ -1,0 +1,99 @@
+package blobstore
+
+import "repro/internal/simdisk"
+
+// sectorCache is a small LRU cache of sector contents keyed by absolute
+// sector number. It stands in for the OSD page cache: the sectors that
+// matter are the hot metadata sectors (IV tails, unaligned boundaries)
+// that sub-sector writes keep touching.
+type sectorCache struct {
+	cap   int
+	items map[int64]*cacheNode
+	head  *cacheNode // most recent
+	tail  *cacheNode // least recent
+}
+
+type cacheNode struct {
+	sector     int64
+	data       []byte
+	prev, next *cacheNode
+}
+
+func newSectorCache(capacity int) *sectorCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &sectorCache{cap: capacity, items: make(map[int64]*cacheNode, capacity)}
+}
+
+func (c *sectorCache) unlink(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *sectorCache) pushFront(n *cacheNode) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// get returns the cached contents of sector, refreshing its recency.
+func (c *sectorCache) get(sector int64) ([]byte, bool) {
+	n, ok := c.items[sector]
+	if !ok {
+		return nil, false
+	}
+	if c.head != n {
+		c.unlink(n)
+		c.pushFront(n)
+	}
+	return n.data, true
+}
+
+// put inserts or refreshes sector contents (copied), evicting the least
+// recently used entry when full.
+func (c *sectorCache) put(sector int64, data []byte) {
+	if n, ok := c.items[sector]; ok {
+		copy(n.data, data)
+		if c.head != n {
+			c.unlink(n)
+			c.pushFront(n)
+		}
+		return
+	}
+	if len(c.items) >= c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.items, lru.sector)
+	}
+	n := &cacheNode{sector: sector, data: append(make([]byte, 0, simdisk.SectorSize), data...)}
+	c.items[sector] = n
+	c.pushFront(n)
+}
+
+// invalidate drops n sectors starting at sector.
+func (c *sectorCache) invalidate(sector, n int64) {
+	for i := int64(0); i < n; i++ {
+		if node, ok := c.items[sector+i]; ok {
+			c.unlink(node)
+			delete(c.items, sector+i)
+		}
+	}
+}
+
+// len reports the number of cached sectors.
+func (c *sectorCache) len() int { return len(c.items) }

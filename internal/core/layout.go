@@ -1,0 +1,234 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/rados"
+)
+
+// Layout selects where per-sector metadata lives inside the virtual-disk
+// mapping — the three alternatives of §3.1 (Fig. 2) plus the baseline.
+type Layout int
+
+// Layouts.
+const (
+	// LayoutNone stores no metadata (the LUKS2 baseline and the
+	// deterministic wide-block scheme).
+	LayoutNone Layout = iota
+	// LayoutUnaligned stores each block's metadata contiguously after the
+	// block: data|IV|data|IV|… (Fig. 2a).
+	LayoutUnaligned
+	// LayoutObjectEnd batches all of an object's metadata after the data
+	// region, at the object end (Fig. 2b).
+	LayoutObjectEnd
+	// LayoutOMAP stores metadata in the per-object key-value database
+	// (Fig. 2c).
+	LayoutOMAP
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case LayoutNone:
+		return "none"
+	case LayoutUnaligned:
+		return "unaligned"
+	case LayoutObjectEnd:
+		return "object-end"
+	case LayoutOMAP:
+		return "omap"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
+// ParseLayout is the inverse of String.
+func ParseLayout(s string) (Layout, error) {
+	for _, l := range []Layout{LayoutNone, LayoutUnaligned, LayoutObjectEnd, LayoutOMAP} {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown layout %q", s)
+}
+
+// omapIVPrefix namespaces IV entries in the object OMAP.
+const omapIVPrefix = "iv."
+
+func omapIVKey(block int64) []byte {
+	k := make([]byte, len(omapIVPrefix)+8)
+	copy(k, omapIVPrefix)
+	binary.BigEndian.PutUint64(k[len(omapIVPrefix):], uint64(block))
+	return k
+}
+
+// planner turns an object-relative block run plus its ciphertext and
+// metadata into op vectors, and parses read results back. All offsets are
+// in blocks relative to the object start.
+type planner struct {
+	layout     Layout
+	blockSize  int64
+	metaLen    int64
+	objectSize int64 // plaintext bytes per object (the data region size)
+}
+
+// writeOps builds the atomic op vector persisting cipher (nb blocks) and
+// metas (nb*metaLen bytes) for blocks [startBlock, startBlock+nb).
+func (p *planner) writeOps(startBlock int64, cipher, metas []byte) []rados.Op {
+	nb := int64(len(cipher)) / p.blockSize
+	switch p.layout {
+	case LayoutNone:
+		return []rados.Op{{Kind: rados.OpWrite, Off: startBlock * p.blockSize, Data: cipher}}
+
+	case LayoutUnaligned:
+		stride := p.blockSize + p.metaLen
+		buf := make([]byte, nb*stride)
+		for b := int64(0); b < nb; b++ {
+			copy(buf[b*stride:], cipher[b*p.blockSize:(b+1)*p.blockSize])
+			copy(buf[b*stride+p.blockSize:], metas[b*p.metaLen:(b+1)*p.metaLen])
+		}
+		return []rados.Op{{Kind: rados.OpWrite, Off: startBlock * stride, Data: buf}}
+
+	case LayoutObjectEnd:
+		return []rados.Op{
+			{Kind: rados.OpWrite, Off: startBlock * p.blockSize, Data: cipher},
+			{Kind: rados.OpWrite, Off: p.objectSize + startBlock*p.metaLen, Data: metas},
+		}
+
+	case LayoutOMAP:
+		pairs := make([]rados.Pair, nb)
+		for b := int64(0); b < nb; b++ {
+			pairs[b] = rados.Pair{
+				Key:   omapIVKey(startBlock + b),
+				Value: metas[b*p.metaLen : (b+1)*p.metaLen],
+			}
+		}
+		return []rados.Op{
+			{Kind: rados.OpWrite, Off: startBlock * p.blockSize, Data: cipher},
+			{Kind: rados.OpOmapSet, Pairs: pairs},
+		}
+	}
+	panic("core: unknown layout")
+}
+
+// readOps builds the op vector fetching blocks [startBlock, startBlock+nb)
+// with their metadata.
+func (p *planner) readOps(startBlock, nb int64) []rados.Op {
+	switch p.layout {
+	case LayoutNone:
+		return []rados.Op{{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize}}
+
+	case LayoutUnaligned:
+		stride := p.blockSize + p.metaLen
+		return []rados.Op{{Kind: rados.OpRead, Off: startBlock * stride, Len: nb * stride}}
+
+	case LayoutObjectEnd:
+		return []rados.Op{
+			{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize},
+			{Kind: rados.OpRead, Off: p.objectSize + startBlock*p.metaLen, Len: nb * p.metaLen},
+		}
+
+	case LayoutOMAP:
+		return []rados.Op{
+			{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize},
+			{Kind: rados.OpOmapGetRange, Key: omapIVKey(startBlock), Key2: omapIVKey(startBlock + nb)},
+		}
+	}
+	panic("core: unknown layout")
+}
+
+// parseRead extracts ciphertext and metadata from read results. A missing
+// object (hole) yields all-zero cipher and metadata, which the decryption
+// path maps back to zero plaintext (sparse semantics).
+func (p *planner) parseRead(startBlock, nb int64, res []rados.Result) (cipher, metas []byte, err error) {
+	cipher = make([]byte, nb*p.blockSize)
+	metas = make([]byte, nb*p.metaLen)
+
+	if res[0].Status == rados.StatusNotFound {
+		return cipher, metas, nil
+	}
+	if err := res[0].Status.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	switch p.layout {
+	case LayoutNone:
+		copy(cipher, res[0].Data)
+		return cipher, metas, nil
+
+	case LayoutUnaligned:
+		stride := p.blockSize + p.metaLen
+		data := res[0].Data
+		for b := int64(0); b < nb; b++ {
+			if (b+1)*stride <= int64(len(data)) {
+				copy(cipher[b*p.blockSize:], data[b*stride:b*stride+p.blockSize])
+				copy(metas[b*p.metaLen:], data[b*stride+p.blockSize:(b+1)*stride])
+			}
+		}
+		return cipher, metas, nil
+
+	case LayoutObjectEnd:
+		if len(res) != 2 {
+			return nil, nil, fmt.Errorf("core: object-end read returned %d results", len(res))
+		}
+		if err := res[1].Status.Err(); err != nil {
+			return nil, nil, err
+		}
+		copy(cipher, res[0].Data)
+		copy(metas, res[1].Data)
+		return cipher, metas, nil
+
+	case LayoutOMAP:
+		if len(res) != 2 {
+			return nil, nil, fmt.Errorf("core: omap read returned %d results", len(res))
+		}
+		if err := res[1].Status.Err(); err != nil {
+			return nil, nil, err
+		}
+		copy(cipher, res[0].Data)
+		for _, pair := range res[1].Pairs {
+			if len(pair.Key) != len(omapIVPrefix)+8 || !bytes.HasPrefix(pair.Key, []byte(omapIVPrefix)) {
+				continue
+			}
+			block := int64(binary.BigEndian.Uint64(pair.Key[len(omapIVPrefix):]))
+			if block < startBlock || block >= startBlock+nb {
+				continue
+			}
+			copy(metas[(block-startBlock)*p.metaLen:], pair.Value)
+		}
+		return cipher, metas, nil
+	}
+	panic("core: unknown layout")
+}
+
+// SectorCount is the §3.3 analytic model: the minimum number of physical
+// 4 KiB device sectors a single IO of ioBytes must touch under each
+// layout (the paper's "4KB write needs 2 sectors vs 1; 32KB needs 9 vs 8"
+// discussion). OMAP metadata does not consume data-path sectors — its
+// cost is in the database — so its count matches the baseline.
+func SectorCount(l Layout, ioBytes, blockSize, metaLen int64) int64 {
+	if ioBytes <= 0 || blockSize <= 0 {
+		return 0
+	}
+	nb := (ioBytes + blockSize - 1) / blockSize
+	dataSectors := nb
+	switch l {
+	case LayoutNone, LayoutOMAP:
+		return dataSectors
+	case LayoutObjectEnd:
+		// The batched IV region adds ceil(nb*metaLen / sector) sectors.
+		return dataSectors + (nb*metaLen+blockSize-1)/blockSize
+	case LayoutUnaligned:
+		// The interleaved stream occupies ceil(nb*(block+meta)/sector)
+		// sectors, generally misaligned by one extra boundary sector.
+		span := nb * (blockSize + metaLen)
+		sectors := (span + blockSize - 1) / blockSize
+		if span%blockSize != 0 {
+			sectors++ // the run straddles one more boundary on average
+		}
+		return sectors
+	}
+	return dataSectors
+}

@@ -1,0 +1,80 @@
+// Package crush provides deterministic data placement in the role of
+// Ceph's CRUSH algorithm: object names map to placement groups, and
+// placement groups map to an ordered set of OSDs (primary first) by
+// rendezvous (highest-random-weight) hashing, which is straw2 bucket
+// selection in the case of a single flat bucket of equally-weighted OSDs.
+package crush
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// PGForObject maps an object to a placement group.
+func PGForObject(pool, object string, pgNum int) int {
+	if pgNum < 1 {
+		panic("crush: pgNum must be positive")
+	}
+	h := fnv.New64a()
+	h.Write([]byte(pool))
+	h.Write([]byte{0})
+	h.Write([]byte(object))
+	return int(h.Sum64() % uint64(pgNum))
+}
+
+// OSDsForPG returns the ordered replica set (primary first) for a
+// placement group: the n OSDs with the highest rendezvous weight. It
+// returns fewer than n when the cluster is smaller than the replica
+// count.
+func OSDsForPG(pg int, osdIDs []int, n int) []int {
+	type weighted struct {
+		id int
+		w  uint64
+	}
+	ws := make([]weighted, 0, len(osdIDs))
+	var buf [16]byte
+	for _, id := range osdIDs {
+		h := fnv.New64a()
+		binary.LittleEndian.PutUint64(buf[:8], uint64(pg))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(id))
+		h.Write(buf[:])
+		// FNV alone has weak avalanche on short structured input; a
+		// murmur-style finalizer keeps primary assignment balanced.
+		ws = append(ws, weighted{id: id, w: mix64(h.Sum64())})
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].w != ws[j].w {
+			return ws[i].w > ws[j].w
+		}
+		return ws[i].id < ws[j].id
+	})
+	if n > len(ws) {
+		n = len(ws)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = ws[i].id
+	}
+	return out
+}
+
+// mix64 is the 64-bit murmur3 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// DiskForObject spreads a PG's objects over an OSD's local disks.
+func DiskForObject(object string, disks int) int {
+	if disks < 1 {
+		panic("crush: disks must be positive")
+	}
+	h := fnv.New32a()
+	h.Write([]byte(object))
+	return int(h.Sum32() % uint32(disks))
+}

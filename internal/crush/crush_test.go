@@ -1,0 +1,139 @@
+package crush
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPGDeterministic(t *testing.T) {
+	a := PGForObject("rbd", "obj1", 128)
+	b := PGForObject("rbd", "obj1", 128)
+	if a != b {
+		t.Fatal("placement not deterministic")
+	}
+	if a < 0 || a >= 128 {
+		t.Fatalf("pg %d out of range", a)
+	}
+}
+
+func TestPGPoolSeparation(t *testing.T) {
+	same := 0
+	for i := 0; i < 200; i++ {
+		obj := fmt.Sprintf("obj%d", i)
+		if PGForObject("pool-a", obj, 1024) == PGForObject("pool-b", obj, 1024) {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("pools collide too often: %d/200", same)
+	}
+}
+
+func TestPGDistributionUniform(t *testing.T) {
+	const pgNum = 16
+	counts := make([]int, pgNum)
+	const objects = 16000
+	for i := 0; i < objects; i++ {
+		counts[PGForObject("rbd", fmt.Sprintf("rbd_data.img.%016x", i), pgNum)]++
+	}
+	want := objects / pgNum
+	for pg, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("pg %d has %d objects (expected near %d)", pg, c, want)
+		}
+	}
+}
+
+func TestOSDsForPGProperties(t *testing.T) {
+	osds := []int{0, 1, 2, 3, 4}
+	set := OSDsForPG(7, osds, 3)
+	if len(set) != 3 {
+		t.Fatalf("got %d replicas", len(set))
+	}
+	seen := map[int]bool{}
+	for _, id := range set {
+		if seen[id] {
+			t.Fatal("duplicate OSD in replica set")
+		}
+		seen[id] = true
+	}
+	// Deterministic.
+	again := OSDsForPG(7, osds, 3)
+	for i := range set {
+		if set[i] != again[i] {
+			t.Fatal("replica set not deterministic")
+		}
+	}
+	// Truncates to cluster size.
+	if got := OSDsForPG(7, []int{9}, 3); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("small cluster: %v", got)
+	}
+}
+
+// Rendezvous hashing's defining property: removing one OSD only remaps
+// PGs whose set contained it; all other assignments are stable.
+func TestRendezvousStability(t *testing.T) {
+	all := []int{0, 1, 2, 3, 4, 5}
+	without5 := []int{0, 1, 2, 3, 4}
+	for pg := 0; pg < 500; pg++ {
+		before := OSDsForPG(pg, all, 3)
+		had5 := false
+		for _, id := range before {
+			if id == 5 {
+				had5 = true
+			}
+		}
+		after := OSDsForPG(pg, without5, 3)
+		if !had5 {
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatalf("pg %d moved without cause: %v -> %v", pg, before, after)
+				}
+			}
+		}
+	}
+}
+
+func TestPrimaryBalance(t *testing.T) {
+	osds := []int{0, 1, 2}
+	counts := map[int]int{}
+	const pgs = 3000
+	for pg := 0; pg < pgs; pg++ {
+		counts[OSDsForPG(pg, osds, 3)[0]]++
+	}
+	for id, c := range counts {
+		if c < pgs/3-pgs/10 || c > pgs/3+pgs/10 {
+			t.Fatalf("osd %d is primary for %d/%d pgs (imbalanced)", id, c, pgs)
+		}
+	}
+}
+
+func TestDiskForObject(t *testing.T) {
+	if DiskForObject("x", 1) != 0 {
+		t.Fatal("single disk must map to 0")
+	}
+	f := func(s string) bool {
+		d := DiskForObject(s, 9)
+		return d >= 0 && d < 9 && d == DiskForObject(s, 9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PGForObject("p", "o", 0) },
+		func() { DiskForObject("o", 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

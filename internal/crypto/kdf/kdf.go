@@ -1,0 +1,115 @@
+// Package kdf provides the key-derivation primitives the LUKS2-style
+// container needs: PBKDF2-HMAC-SHA256 (RFC 2898) for passphrase
+// stretching and a LUKS-style anti-forensic splitter that inflates key
+// material across many diffused stripes so partial disk remanence cannot
+// recover a revoked key.
+//
+// Only the Go standard library is used (crypto/hmac, crypto/sha256).
+package kdf
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PBKDF2 derives keyLen bytes from the password and salt using
+// HMAC-SHA256 with the given iteration count.
+func PBKDF2(password, salt []byte, iter, keyLen int) []byte {
+	if iter < 1 || keyLen < 1 {
+		panic("kdf: iterations and key length must be positive")
+	}
+	hashLen := sha256.Size
+	numBlocks := (keyLen + hashLen - 1) / hashLen
+	out := make([]byte, 0, numBlocks*hashLen)
+
+	var block [4]byte
+	for i := 1; i <= numBlocks; i++ {
+		binary.BigEndian.PutUint32(block[:], uint32(i))
+		mac := hmac.New(sha256.New, password)
+		mac.Write(salt)
+		mac.Write(block[:])
+		u := mac.Sum(nil)
+		t := append([]byte(nil), u...)
+		for n := 1; n < iter; n++ {
+			mac = hmac.New(sha256.New, password)
+			mac.Write(u)
+			u = mac.Sum(nil)
+			for x := range t {
+				t[x] ^= u[x]
+			}
+		}
+		out = append(out, t...)
+	}
+	return out[:keyLen]
+}
+
+// diffuse applies the LUKS AF hash diffusion to a buffer: each SHA-256
+// sized window is replaced by H(index || window), spreading every bit.
+func diffuse(buf []byte) {
+	h := sha256.New()
+	var idx [4]byte
+	for off, i := 0, 0; off < len(buf); off, i = off+sha256.Size, i+1 {
+		end := off + sha256.Size
+		if end > len(buf) {
+			end = len(buf)
+		}
+		h.Reset()
+		binary.BigEndian.PutUint32(idx[:], uint32(i))
+		h.Write(idx[:])
+		h.Write(buf[off:end])
+		sum := h.Sum(nil)
+		copy(buf[off:end], sum)
+	}
+}
+
+// AFSplit expands key into stripes blocks of key material such that every
+// stripe is required to reconstruct the key. The output is
+// stripes*len(key) bytes.
+func AFSplit(key []byte, stripes int) ([]byte, error) {
+	if stripes < 2 {
+		return nil, errors.New("kdf: need at least 2 stripes")
+	}
+	n := len(key)
+	out := make([]byte, stripes*n)
+	d := make([]byte, n)
+	for s := 0; s < stripes-1; s++ {
+		stripe := out[s*n : (s+1)*n]
+		if _, err := rand.Read(stripe); err != nil {
+			return nil, err
+		}
+		for i := range d {
+			d[i] ^= stripe[i]
+		}
+		diffuse(d)
+	}
+	last := out[(stripes-1)*n:]
+	for i := range last {
+		last[i] = d[i] ^ key[i]
+	}
+	return out, nil
+}
+
+// AFMerge reconstructs the key from AFSplit output.
+func AFMerge(split []byte, keyLen, stripes int) ([]byte, error) {
+	if stripes < 2 || keyLen < 1 || len(split) != stripes*keyLen {
+		return nil, fmt.Errorf("kdf: bad AF geometry (%d bytes, %d stripes, key %d)", len(split), stripes, keyLen)
+	}
+	d := make([]byte, keyLen)
+	for s := 0; s < stripes-1; s++ {
+		stripe := split[s*keyLen : (s+1)*keyLen]
+		for i := range d {
+			d[i] ^= stripe[i]
+		}
+		diffuse(d)
+	}
+	key := make([]byte, keyLen)
+	last := split[(stripes-1)*keyLen:]
+	for i := range key {
+		key[i] = d[i] ^ last[i]
+	}
+	return key, nil
+}

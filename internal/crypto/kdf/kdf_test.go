@@ -1,0 +1,138 @@
+package kdf
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// Published PBKDF2-HMAC-SHA256 test vectors (RFC 7914 §11 / common
+// reference values).
+func TestPBKDF2Vectors(t *testing.T) {
+	cases := []struct {
+		password, salt string
+		iter, keyLen   int
+		want           string
+	}{
+		{"password", "salt", 1, 32,
+			"120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b"},
+		{"password", "salt", 2, 32,
+			"ae4d0c95af6b46d32d0adff928f06dd02a303f8ef3c251dfd6e2d85a95474c43"},
+		{"password", "salt", 4096, 32,
+			"c5e478d59288c841aa530db6845c4c8d962893a001ce4e11a4963873aa98134a"},
+	}
+	for i, tc := range cases {
+		got := PBKDF2([]byte(tc.password), []byte(tc.salt), tc.iter, tc.keyLen)
+		want, _ := hex.DecodeString(tc.want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("case %d:\n got %x\nwant %x", i, got, want)
+		}
+	}
+}
+
+func TestPBKDF2LongOutput(t *testing.T) {
+	// Output longer than one hash block exercises multi-block derivation.
+	out := PBKDF2([]byte("pw"), []byte("salt"), 10, 100)
+	if len(out) != 100 {
+		t.Fatalf("len = %d", len(out))
+	}
+	// Prefix property: a shorter request is a prefix of a longer one.
+	short := PBKDF2([]byte("pw"), []byte("salt"), 10, 32)
+	if !bytes.Equal(out[:32], short) {
+		t.Fatal("prefix property violated")
+	}
+}
+
+func TestPBKDF2PanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PBKDF2([]byte("p"), []byte("s"), 0, 32)
+}
+
+func TestAFSplitMergeRoundTrip(t *testing.T) {
+	key := []byte("0123456789abcdef0123456789abcdef")
+	split, err := AFSplit(key, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split) != 4000*len(key) {
+		t.Fatalf("split length %d", len(split))
+	}
+	merged, err := AFMerge(split, len(key), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, key) {
+		t.Fatal("merge did not recover key")
+	}
+}
+
+func TestAFAntiForensicProperty(t *testing.T) {
+	// Corrupting any single stripe destroys the key.
+	key := []byte("superSecretMasterKey00000000000!")
+	split, err := AFSplit(key, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		mangled := append([]byte(nil), split...)
+		mangled[s*len(key)+5] ^= 0xFF
+		merged, err := AFMerge(mangled, len(key), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(merged, key) {
+			t.Fatalf("stripe %d corruption did not destroy key", s)
+		}
+	}
+}
+
+func TestAFGeometryValidation(t *testing.T) {
+	if _, err := AFSplit([]byte("k"), 1); err == nil {
+		t.Fatal("1 stripe accepted")
+	}
+	if _, err := AFMerge(make([]byte, 10), 3, 4); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+}
+
+func TestAFSplitRandomized(t *testing.T) {
+	// Two splits of the same key differ (fresh randomness) but both merge.
+	key := bytes.Repeat([]byte{7}, 32)
+	a, _ := AFSplit(key, 4)
+	b, _ := AFSplit(key, 4)
+	if bytes.Equal(a, b) {
+		t.Fatal("splits should be randomized")
+	}
+	ma, _ := AFMerge(a, 32, 4)
+	mb, _ := AFMerge(b, 32, 4)
+	if !bytes.Equal(ma, key) || !bytes.Equal(mb, key) {
+		t.Fatal("merge failed")
+	}
+}
+
+func TestAFProperty(t *testing.T) {
+	f := func(seed int64, stripes uint8) bool {
+		n := int(stripes)%30 + 2
+		key := make([]byte, 32)
+		for i := range key {
+			key[i] = byte(seed >> (i % 8 * 8))
+		}
+		split, err := AFSplit(key, n)
+		if err != nil {
+			return false
+		}
+		merged, err := AFMerge(split, 32, n)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(merged, key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+package dmcrypt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fio"
+	"repro/internal/simdisk"
+	"repro/internal/vtime"
+)
+
+func newDisk() *simdisk.Disk {
+	return simdisk.New("nvme0", (256<<20)/simdisk.SectorSize, simdisk.DefaultCostModel())
+}
+
+func key64() []byte { return bytes.Repeat([]byte{7}, 64) }
+
+func TestPlainCryptRoundTrip(t *testing.T) {
+	c, err := NewCrypt(DiskDevice{newDisk()}, key64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 3*SectorSize)
+	rand.New(rand.NewSource(1)).Read(data)
+	if _, err := c.WriteAt(0, data, 8*SectorSize); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := c.ReadAt(0, got, 8*SectorSize); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestCryptActuallyEncrypts(t *testing.T) {
+	d := newDisk()
+	c, err := NewCrypt(DiskDevice{d}, key64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := bytes.Repeat([]byte("SECRET!!"), SectorSize/8)
+	if _, err := c.WriteAt(0, plain, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, SectorSize)
+	if _, err := d.ReadAt(0, raw, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("SECRET!!")) {
+		t.Fatal("plaintext on media")
+	}
+}
+
+func TestIntegrityRandIVRoundTrip(t *testing.T) {
+	for _, journal := range []bool{false, true} {
+		g := NewIntegrity(DiskDevice{newDisk()}, journal)
+		c, err := NewCryptRandIV(g, key64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 5*SectorSize)
+		rand.New(rand.NewSource(2)).Read(data)
+		if _, err := c.WriteAt(0, data, 16*SectorSize); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if _, err := c.ReadAt(0, got, 16*SectorSize); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("journal=%v: round trip failed", journal)
+		}
+	}
+}
+
+func TestIntegrityLayoutDisjoint(t *testing.T) {
+	// Writing two adjacent logical runs must not clobber each other or
+	// their metadata (layout math check across group boundaries).
+	g := NewIntegrity(DiskDevice{newDisk()}, false)
+	c, _ := NewCryptRandIV(g, key64())
+	a := bytes.Repeat([]byte{0xA1}, SectorSize)
+	b := bytes.Repeat([]byte{0xB2}, SectorSize)
+	// Around the 256-sector group boundary.
+	offA := int64(255) * SectorSize
+	offB := int64(256) * SectorSize
+	if _, err := c.WriteAt(0, a, offA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteAt(0, b, offB); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, SectorSize)
+	if _, err := c.ReadAt(0, got, offA); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, a) {
+		t.Fatal("sector A corrupted")
+	}
+	if _, err := c.ReadAt(0, got, offB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, b) {
+		t.Fatal("sector B corrupted")
+	}
+}
+
+func TestRandIVFreshPerWrite(t *testing.T) {
+	d := newDisk()
+	g := NewIntegrity(DiskDevice{d}, false)
+	c, _ := NewCryptRandIV(g, key64())
+	plain := bytes.Repeat([]byte{0x33}, SectorSize)
+	read := func() []byte {
+		raw := make([]byte, SectorSize)
+		phys, _ := g.physFor(0)
+		if _, err := d.ReadAt(0, raw, phys*SectorSize); err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	if _, err := c.WriteAt(0, plain, 0); err != nil {
+		t.Fatal(err)
+	}
+	ct1 := read()
+	if _, err := c.WriteAt(0, plain, 0); err != nil {
+		t.Fatal(err)
+	}
+	ct2 := read()
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("random IV should refresh ciphertext")
+	}
+}
+
+func TestAlignmentEnforced(t *testing.T) {
+	c, _ := NewCrypt(DiskDevice{newDisk()}, key64())
+	if _, err := c.WriteAt(0, make([]byte, 100), 0); err == nil {
+		t.Fatal("misaligned write accepted")
+	}
+	if _, err := c.ReadAt(0, make([]byte, SectorSize), 7); err == nil {
+		t.Fatal("misaligned read accepted")
+	}
+}
+
+func TestBoundsEnforced(t *testing.T) {
+	g := NewIntegrity(DiskDevice{newDisk()}, false)
+	c, _ := NewCryptRandIV(g, key64())
+	if _, err := c.WriteAt(0, make([]byte, SectorSize), c.Size()); err == nil {
+		t.Fatal("write beyond device accepted")
+	}
+}
+
+// The §2.3 claim: the journal roughly halves write throughput.
+func TestJournalHalvesThroughput(t *testing.T) {
+	run := func(journal bool) float64 {
+		g := NewIntegrity(DiskDevice{newDisk()}, journal)
+		c, err := NewCryptRandIV(g, key64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fio.Run(fio.Spec{
+			Pattern: fio.RandWrite, BlockSize: 64 << 10, QueueDepth: 8, TotalOps: 200,
+		}, c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MBps()
+	}
+	plain := run(false)
+	journaled := run(true)
+	ratio := journaled / plain
+	if ratio > 0.75 || ratio < 0.25 {
+		t.Fatalf("journal ratio %.2f (plain %.0f MB/s, journaled %.0f MB/s); paper expects ~0.5",
+			ratio, plain, journaled)
+	}
+}
+
+// Virtual time must propagate through the stack.
+func TestVirtualTime(t *testing.T) {
+	c, _ := NewCrypt(DiskDevice{newDisk()}, key64())
+	end, err := c.WriteAt(vtime.Time(100), make([]byte, SectorSize), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= 100 {
+		t.Fatal("no time charged")
+	}
+}

@@ -1,0 +1,151 @@
+package fio
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// memTarget is a deterministic fake device: every IO takes exactly
+// opCost of virtual time on a single-server resource.
+type memTarget struct {
+	mu     sync.Mutex
+	data   []byte
+	res    *vtime.Resource
+	opCost time.Duration
+	reads  int
+	writes int
+}
+
+func newMemTarget(size int64, opCost time.Duration) *memTarget {
+	return &memTarget{data: make([]byte, size), res: vtime.NewResource("mem"), opCost: opCost}
+}
+
+func (m *memTarget) ReadAt(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
+	m.mu.Lock()
+	copy(p, m.data[off:])
+	m.reads++
+	m.mu.Unlock()
+	return m.res.Use(at, m.opCost), nil
+}
+
+func (m *memTarget) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
+	m.mu.Lock()
+	copy(m.data[off:], p)
+	m.writes++
+	m.mu.Unlock()
+	return m.res.Use(at, m.opCost), nil
+}
+
+func (m *memTarget) Size() int64 { return int64(len(m.data)) }
+
+func TestRunCountsOps(t *testing.T) {
+	tgt := newMemTarget(1<<20, time.Microsecond)
+	res, err := Run(Spec{Pattern: RandWrite, BlockSize: 4096, QueueDepth: 4, TotalOps: 100}, tgt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 100 || res.Bytes != 100*4096 {
+		t.Fatalf("ops=%d bytes=%d", res.Ops, res.Bytes)
+	}
+	if tgt.writes != 100 || tgt.reads != 0 {
+		t.Fatalf("device saw %d writes %d reads", tgt.writes, tgt.reads)
+	}
+}
+
+func TestBandwidthMatchesResourceCapacity(t *testing.T) {
+	// Single-server device, 10µs per op: capacity is exactly
+	// 4096 bytes / 10µs = 409.6 MB/s regardless of queue depth.
+	tgt := newMemTarget(1<<20, 10*time.Microsecond)
+	res, err := Run(Spec{Pattern: RandRead, BlockSize: 4096, QueueDepth: 8, TotalOps: 500}, tgt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbps := res.MBps()
+	if mbps < 390 || mbps > 425 {
+		t.Fatalf("bandwidth %.1f MB/s, want ~409.6", mbps)
+	}
+	if res.IOPS() < 95000 || res.IOPS() > 105000 {
+		t.Fatalf("iops %.0f, want ~100000", res.IOPS())
+	}
+}
+
+func TestSequentialPattern(t *testing.T) {
+	tgt := newMemTarget(1<<20, time.Microsecond)
+	res, err := Run(Spec{Pattern: SeqWrite, BlockSize: 8192, QueueDepth: 2, TotalOps: 64}, tgt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 64 {
+		t.Fatalf("ops=%d", res.Ops)
+	}
+}
+
+func TestLatencyPercentilesOrdered(t *testing.T) {
+	tgt := newMemTarget(1<<20, 5*time.Microsecond)
+	res, err := Run(Spec{Pattern: RandRead, BlockSize: 4096, QueueDepth: 16, TotalOps: 400}, tgt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.Latencies
+	if l.P50 > l.P95 || l.P95 > l.P99 || l.P99 > l.Max || l.P50 <= 0 {
+		t.Fatalf("percentiles out of order: %+v", l)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	tgt := newMemTarget(1<<20, time.Microsecond)
+	if _, err := Run(Spec{Pattern: RandRead}, tgt, 0); err == nil {
+		t.Fatal("missing block size accepted")
+	}
+	if _, err := Run(Spec{Pattern: RandRead, BlockSize: 2 << 20}, tgt, 0); err == nil {
+		t.Fatal("block size above span accepted")
+	}
+}
+
+func TestDeterministicOffsets(t *testing.T) {
+	a := newMemTarget(1<<20, time.Microsecond)
+	b := newMemTarget(1<<20, time.Microsecond)
+	ra, err := Run(Spec{Pattern: RandWrite, BlockSize: 4096, QueueDepth: 3, TotalOps: 50, Seed: 42}, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(Spec{Pattern: RandWrite, BlockSize: 4096, QueueDepth: 3, TotalOps: 50, Seed: 42}, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Bytes != rb.Bytes || ra.Ops != rb.Ops {
+		t.Fatal("same seed should reproduce the workload")
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	for _, p := range []Pattern{RandRead, RandWrite, SeqRead, SeqWrite} {
+		got, err := ParsePattern(p.String())
+		if err != nil || got != p {
+			t.Fatalf("%v: %v", p, err)
+		}
+	}
+	if _, err := ParsePattern("sideways"); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+}
+
+func TestPrecondition(t *testing.T) {
+	tgt := newMemTarget(8<<20, time.Microsecond)
+	end, err := Precondition(tgt, 0, 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	// Every byte must be written (non-zero fill).
+	for i, b := range tgt.data {
+		if b == 0 {
+			t.Fatalf("byte %d not preconditioned", i)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package kvstore
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// entryKind distinguishes puts from deletion tombstones.
+type entryKind uint8
+
+const (
+	kindPut    entryKind = 1
+	kindDelete entryKind = 2
+)
+
+// memEntry is a memtable record. The memtable keeps only the latest write
+// per user key (the store does not expose point-in-time snapshots, so
+// shadowed versions are dropped eagerly).
+type memEntry struct {
+	key   []byte
+	value []byte
+	seq   uint64
+	kind  entryKind
+}
+
+const maxHeight = 12
+
+// memtable is a skiplist keyed by user key. It is not safe for concurrent
+// use; the Store serializes access.
+type memtable struct {
+	head  *skipNode
+	rng   *rand.Rand
+	size  int64 // approximate bytes of live keys+values
+	count int
+}
+
+type skipNode struct {
+	entry memEntry
+	next  [maxHeight]*skipNode
+	level int
+}
+
+func newMemtable(seed int64) *memtable {
+	return &memtable{
+		head: &skipNode{level: maxHeight},
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (m *memtable) randomLevel() int {
+	l := 1
+	for l < maxHeight && m.rng.Intn(4) == 0 {
+		l++
+	}
+	return l
+}
+
+// findGE returns the first node with key >= key, filling prev with the
+// rightmost node before it on every level.
+func (m *memtable) findGE(key []byte, prev *[maxHeight]*skipNode) *skipNode {
+	n := m.head
+	for lvl := maxHeight - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && bytes.Compare(n.next[lvl].entry.key, key) < 0 {
+			n = n.next[lvl]
+		}
+		if prev != nil {
+			prev[lvl] = n
+		}
+	}
+	return n.next[0]
+}
+
+// set inserts or replaces the entry for key.
+func (m *memtable) set(e memEntry) {
+	var prev [maxHeight]*skipNode
+	n := m.findGE(e.key, &prev)
+	if n != nil && bytes.Equal(n.entry.key, e.key) {
+		m.size += int64(len(e.value)) - int64(len(n.entry.value))
+		n.entry = e
+		return
+	}
+	node := &skipNode{entry: e, level: m.randomLevel()}
+	for lvl := 0; lvl < node.level; lvl++ {
+		node.next[lvl] = prev[lvl].next[lvl]
+		prev[lvl].next[lvl] = node
+	}
+	m.size += int64(len(e.key)+len(e.value)) + 32
+	m.count++
+}
+
+// get returns the entry for key, if present (including tombstones).
+func (m *memtable) get(key []byte) (memEntry, bool) {
+	n := m.findGE(key, nil)
+	if n != nil && bytes.Equal(n.entry.key, key) {
+		return n.entry, true
+	}
+	return memEntry{}, false
+}
+
+// iter returns an iterator positioned at the first key >= start.
+func (m *memtable) iter(start []byte) *memtableIter {
+	var n *skipNode
+	if len(start) == 0 {
+		n = m.head.next[0]
+	} else {
+		n = m.findGE(start, nil)
+	}
+	return &memtableIter{n: n}
+}
+
+type memtableIter struct {
+	n *skipNode
+}
+
+func (it *memtableIter) valid() bool { return it.n != nil }
+
+func (it *memtableIter) entry() memEntry { return it.n.entry }
+
+func (it *memtableIter) next() { it.n = it.n.next[0] }

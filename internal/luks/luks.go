@@ -1,0 +1,231 @@
+// Package luks implements a LUKS2-style key-management container, the
+// format Ceph RBD client-side encryption uses (§2.4). A container wraps a
+// randomly generated master key behind one or more passphrase keyslots:
+//
+//   - the slot key is stretched from the passphrase with PBKDF2-HMAC-SHA256,
+//   - the master key is anti-forensically split (kdf.AFSplit) and the
+//     stripes encrypted with AES-XTS under the slot key,
+//   - a PBKDF2 digest of the master key lets Unlock verify a candidate.
+//
+// Metadata is JSON (as in LUKS2) with binary areas carried base64-encoded,
+// so a container serializes to a single blob the virtual-disk layer stores
+// alongside the image.
+package luks
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto/kdf"
+	"repro/internal/crypto/xts"
+)
+
+const (
+	// Magic identifies serialized containers.
+	Magic = "LUKS2-repro\x00"
+	// MasterKeySize is the XTS-AES-256 key size (two 256-bit keys).
+	MasterKeySize = 64
+	// Stripes is the anti-forensic expansion factor (LUKS default 4000 is
+	// overkill for a simulation; 64 keeps the same property cheaply).
+	Stripes = 64
+	// DefaultIterations is the PBKDF2 cost.
+	DefaultIterations = 4096
+	// MaxSlots bounds the keyslot table (8, as in LUKS).
+	MaxSlots = 8
+)
+
+var (
+	// ErrPassphrase reports that no keyslot opened with the passphrase.
+	ErrPassphrase = errors.New("luks: no keyslot matches passphrase")
+	// ErrNoFreeSlot reports a full keyslot table.
+	ErrNoFreeSlot = errors.New("luks: no free keyslot")
+	// ErrCorrupt reports a malformed container.
+	ErrCorrupt = errors.New("luks: corrupt container")
+)
+
+// Keyslot is one passphrase binding.
+type Keyslot struct {
+	Active     bool   `json:"active"`
+	Salt       []byte `json:"salt,omitempty"`
+	Iterations int    `json:"iterations,omitempty"`
+	Stripes    int    `json:"stripes,omitempty"`
+	Area       []byte `json:"area,omitempty"` // encrypted AF-split master key
+}
+
+// Container is the on-disk header.
+type Container struct {
+	MagicField string    `json:"magic"`
+	UUID       string    `json:"uuid"`
+	Cipher     string    `json:"cipher"` // informational: the data cipher
+	DigestSalt []byte    `json:"digest_salt"`
+	DigestIter int       `json:"digest_iter"`
+	Digest     []byte    `json:"digest"` // PBKDF2(masterKey, DigestSalt)
+	Slots      []Keyslot `json:"slots"`
+}
+
+func randBytes(n int) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// slotCipher builds the XTS cipher protecting a keyslot area.
+func slotCipher(passphrase, salt []byte, iter int) (*xts.Cipher, error) {
+	key := kdf.PBKDF2(passphrase, salt, iter, 64)
+	return xts.NewCipher(key)
+}
+
+func digestOf(masterKey, salt []byte, iter int) []byte {
+	return kdf.PBKDF2(masterKey, salt, iter, 32)
+}
+
+// Format creates a container with a fresh random master key bound to the
+// passphrase in slot 0, returning both.
+func Format(passphrase []byte, cipherName string) (*Container, []byte, error) {
+	masterKey, err := randBytes(MasterKeySize)
+	if err != nil {
+		return nil, nil, err
+	}
+	uuid, err := randBytes(16)
+	if err != nil {
+		return nil, nil, err
+	}
+	dsalt, err := randBytes(32)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := &Container{
+		MagicField: Magic,
+		UUID:       fmt.Sprintf("%x", uuid),
+		Cipher:     cipherName,
+		DigestSalt: dsalt,
+		DigestIter: DefaultIterations,
+		Digest:     digestOf(masterKey, dsalt, DefaultIterations),
+		Slots:      make([]Keyslot, MaxSlots),
+	}
+	if err := c.fillSlot(0, passphrase, masterKey); err != nil {
+		return nil, nil, err
+	}
+	return c, masterKey, nil
+}
+
+func (c *Container) fillSlot(idx int, passphrase, masterKey []byte) error {
+	salt, err := randBytes(32)
+	if err != nil {
+		return err
+	}
+	split, err := kdf.AFSplit(masterKey, Stripes)
+	if err != nil {
+		return err
+	}
+	ci, err := slotCipher(passphrase, salt, DefaultIterations)
+	if err != nil {
+		return err
+	}
+	area := make([]byte, len(split))
+	if err := ci.Encrypt(area, split, xts.SectorTweak(uint64(idx))); err != nil {
+		return err
+	}
+	c.Slots[idx] = Keyslot{
+		Active:     true,
+		Salt:       salt,
+		Iterations: DefaultIterations,
+		Stripes:    Stripes,
+		Area:       area,
+	}
+	return nil
+}
+
+// Unlock recovers the master key with a passphrase, trying every active
+// slot and verifying against the digest.
+func (c *Container) Unlock(passphrase []byte) ([]byte, error) {
+	for idx, slot := range c.Slots {
+		if !slot.Active {
+			continue
+		}
+		ci, err := slotCipher(passphrase, slot.Salt, slot.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		split := make([]byte, len(slot.Area))
+		if err := ci.Decrypt(split, slot.Area, xts.SectorTweak(uint64(idx))); err != nil {
+			return nil, err
+		}
+		if slot.Stripes < 2 || len(split)%slot.Stripes != 0 {
+			return nil, ErrCorrupt
+		}
+		keyLen := len(split) / slot.Stripes
+		mk, err := kdf.AFMerge(split, keyLen, slot.Stripes)
+		if err != nil {
+			return nil, err
+		}
+		if subtle.ConstantTimeCompare(digestOf(mk, c.DigestSalt, c.DigestIter), c.Digest) == 1 {
+			return mk, nil
+		}
+	}
+	return nil, ErrPassphrase
+}
+
+// AddKey binds a new passphrase (authorized by an existing one) to a free
+// slot, returning the slot index.
+func (c *Container) AddKey(existing, next []byte) (int, error) {
+	mk, err := c.Unlock(existing)
+	if err != nil {
+		return -1, err
+	}
+	for idx := range c.Slots {
+		if !c.Slots[idx].Active {
+			if err := c.fillSlot(idx, next, mk); err != nil {
+				return -1, err
+			}
+			return idx, nil
+		}
+	}
+	return -1, ErrNoFreeSlot
+}
+
+// RemoveKey deactivates a slot and destroys its key material.
+func (c *Container) RemoveKey(idx int) error {
+	if idx < 0 || idx >= len(c.Slots) || !c.Slots[idx].Active {
+		return fmt.Errorf("luks: slot %d not active", idx)
+	}
+	c.Slots[idx] = Keyslot{}
+	return nil
+}
+
+// ActiveSlots lists the active keyslot indexes.
+func (c *Container) ActiveSlots() []int {
+	var out []int
+	for i, s := range c.Slots {
+		if s.Active {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Marshal serializes the container.
+func (c *Container) Marshal() ([]byte, error) {
+	return json.Marshal(c)
+}
+
+// Unmarshal parses a container and validates its magic.
+func Unmarshal(b []byte) (*Container, error) {
+	var c Container
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if c.MagicField != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if len(c.Slots) > MaxSlots || !bytes.Equal([]byte(c.MagicField), []byte(Magic)) {
+		return nil, ErrCorrupt
+	}
+	return &c, nil
+}

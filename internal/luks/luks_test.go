@@ -1,0 +1,137 @@
+package luks
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFormatUnlock(t *testing.T) {
+	c, mk, err := Format([]byte("hunter2"), "aes-xts-plain64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mk) != MasterKeySize {
+		t.Fatalf("master key %d bytes", len(mk))
+	}
+	got, err := c.Unlock([]byte("hunter2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, mk) {
+		t.Fatal("unlocked key differs")
+	}
+}
+
+func TestWrongPassphrase(t *testing.T) {
+	c, _, err := Format([]byte("correct"), "aes-xts-plain64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Unlock([]byte("incorrect")); !errors.Is(err, ErrPassphrase) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAddAndRemoveKey(t *testing.T) {
+	c, mk, err := Format([]byte("first"), "aes-xts-plain64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.AddKey([]byte("first"), []byte("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("slot %d", idx)
+	}
+	if got, err := c.Unlock([]byte("second")); err != nil || !bytes.Equal(got, mk) {
+		t.Fatalf("second passphrase: %v", err)
+	}
+	// Adding requires a valid existing passphrase.
+	if _, err := c.AddKey([]byte("bogus"), []byte("third")); !errors.Is(err, ErrPassphrase) {
+		t.Fatalf("got %v", err)
+	}
+	// Remove the first key; only the second unlocks.
+	if err := c.RemoveKey(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Unlock([]byte("first")); !errors.Is(err, ErrPassphrase) {
+		t.Fatalf("revoked passphrase still works: %v", err)
+	}
+	if _, err := c.Unlock([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveKey(0); err == nil {
+		t.Fatal("removing inactive slot should fail")
+	}
+	if got := c.ActiveSlots(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("active slots %v", got)
+	}
+}
+
+func TestSlotExhaustion(t *testing.T) {
+	c, _, err := Format([]byte("p0"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < MaxSlots; i++ {
+		if _, err := c.AddKey([]byte("p0"), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.AddKey([]byte("p0"), []byte("overflow")); !errors.Is(err, ErrNoFreeSlot) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	c, mk, err := Format([]byte("pass"), "aes-xts-plain64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Unlock([]byte("pass"))
+	if err != nil || !bytes.Equal(got, mk) {
+		t.Fatalf("unlock after round trip: %v", err)
+	}
+	if c2.Cipher != "aes-xts-plain64" {
+		t.Fatalf("cipher %q", c2.Cipher)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"magic":"WRONG"}`)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestHeaderTamperDetected(t *testing.T) {
+	c, _, err := Format([]byte("pass"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a keyslot area: the digest check must reject the result.
+	c.Slots[0].Area[10] ^= 0xFF
+	if _, err := c.Unlock([]byte("pass")); !errors.Is(err, ErrPassphrase) {
+		t.Fatalf("tampered slot unlocked: %v", err)
+	}
+}
+
+func TestDistinctMasterKeys(t *testing.T) {
+	_, mk1, _ := Format([]byte("p"), "x")
+	_, mk2, _ := Format([]byte("p"), "x")
+	if bytes.Equal(mk1, mk2) {
+		t.Fatal("master keys must be random")
+	}
+}

@@ -1,0 +1,204 @@
+package msgr
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+func echoHandler(at vtime.Time, req []byte) ([]byte, vtime.Time, error) {
+	return append([]byte("echo:"), req...), at.Add(10 * time.Microsecond), nil
+}
+
+func TestInProcCall(t *testing.T) {
+	srv := NewInProcServer(echoHandler)
+	defer srv.Close()
+	lc := LinkCost{Latency: 5 * time.Microsecond, StreamPerByte: 1}
+	conn := srv.Connect("c0", lc, lc)
+	defer conn.Close()
+
+	resp, end, err := conn.Call(0, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("echo:hello")) {
+		t.Fatalf("resp %q", resp)
+	}
+	// Request: 5 bytes * 1ns + 5µs latency; handler 10µs; response:
+	// 10 bytes * 1ns + 5µs latency.
+	want := vtime.Time(5 + 5000 + 10000 + 10 + 5000)
+	if end != want {
+		t.Fatalf("end = %d want %d", end, want)
+	}
+}
+
+func TestInProcSharedNICContention(t *testing.T) {
+	nic := vtime.NewResource("client-nic")
+	srv := NewInProcServer(echoHandler)
+	defer srv.Close()
+	lc := LinkCost{StreamPerByte: 0, NIC: nic, NICPerByte: 10}
+	free := LinkCost{}
+	c1 := srv.Connect("c1", lc, free)
+	c2 := srv.Connect("c2", lc, free)
+
+	// Two 1000-byte requests at t=0 contend on the NIC: completions at
+	// 10µs and 20µs (each costs 10µs of NIC time) plus 10µs handler each.
+	_, end1, err := c1.Call(0, make([]byte, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, end2, err := c2.Call(0, make([]byte, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end1 != vtime.Time(20*time.Microsecond) {
+		t.Fatalf("end1 = %v", end1)
+	}
+	if end2 != vtime.Time(30*time.Microsecond) {
+		t.Fatalf("end2 = %v (should queue behind first on NIC)", end2)
+	}
+}
+
+func TestInProcClosed(t *testing.T) {
+	srv := NewInProcServer(echoHandler)
+	conn := srv.Connect("c", LinkCost{}, LinkCost{})
+	conn.Close()
+	if _, _, err := conn.Call(0, nil); err == nil {
+		t.Fatal("closed conn accepted call")
+	}
+	conn2 := srv.Connect("c2", LinkCost{}, LinkCost{})
+	srv.Close()
+	if _, _, err := conn2.Call(0, nil); err == nil {
+		t.Fatal("closed server accepted call")
+	}
+}
+
+func TestInProcHandlerError(t *testing.T) {
+	srv := NewInProcServer(func(at vtime.Time, req []byte) ([]byte, vtime.Time, error) {
+		return nil, at, fmt.Errorf("boom")
+	})
+	defer srv.Close()
+	conn := srv.Connect("c", LinkCost{}, LinkCost{})
+	if _, _, err := conn.Call(0, []byte("x")); err == nil {
+		t.Fatal("handler error not propagated")
+	}
+}
+
+func TestDefaultLinkCostShape(t *testing.T) {
+	nic := vtime.NewResource("nic")
+	lc := DefaultLinkCost(nic)
+	if lc.Latency <= 0 || lc.StreamPerByte <= lc.NICPerByte {
+		t.Fatalf("implausible default: %+v", lc)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	resp, end, err := conn.Call(vtime.Time(500), []byte("over tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("echo:over tcp")) {
+		t.Fatalf("resp %q", resp)
+	}
+	if end != vtime.Time(500).Add(10*time.Microsecond) {
+		t.Fatalf("virtual time not carried: %d", end)
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", func(at vtime.Time, req []byte) ([]byte, vtime.Time, error) {
+		return req, at, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("msg-%d", i))
+			resp, _, err := conn.Call(0, msg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(resp, msg) {
+				errs <- fmt.Errorf("cross-talk: sent %q got %q", msg, resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", func(at vtime.Time, req []byte) ([]byte, vtime.Time, error) {
+		return nil, at, fmt.Errorf("remote exploded")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, _, err := conn.Call(0, []byte("x")); err == nil {
+		t.Fatal("remote error not surfaced")
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", func(at vtime.Time, req []byte) ([]byte, vtime.Time, error) {
+		return req, at, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	big := make([]byte, 4<<20+16+37)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	resp, _, err := conn.Call(0, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, big) {
+		t.Fatal("large payload corrupted")
+	}
+}

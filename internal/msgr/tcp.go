@@ -1,0 +1,229 @@
+package msgr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// The TCP transport frames messages as:
+//
+//	magic u32 | id u64 | vtime i64 | status u32 | len u32 | payload
+//
+// Requests and responses share the frame shape; status is zero on
+// requests and on successful responses. Concurrent calls multiplex on one
+// connection by id.
+
+const tcpMagic = 0x52424453 // "RBDS"
+
+const tcpHeaderSize = 4 + 8 + 8 + 4 + 4
+
+func writeFrame(w io.Writer, id uint64, at vtime.Time, status uint32, payload []byte) error {
+	hdr := make([]byte, tcpHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], tcpMagic)
+	binary.LittleEndian.PutUint64(hdr[4:12], id)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(at))
+	binary.LittleEndian.PutUint32(hdr[20:24], status)
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (id uint64, at vtime.Time, status uint32, payload []byte, err error) {
+	hdr := make([]byte, tcpHeaderSize)
+	if _, err = io.ReadFull(r, hdr); err != nil {
+		return
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != tcpMagic {
+		err = fmt.Errorf("msgr: bad frame magic")
+		return
+	}
+	id = binary.LittleEndian.Uint64(hdr[4:12])
+	at = vtime.Time(binary.LittleEndian.Uint64(hdr[12:20]))
+	status = binary.LittleEndian.Uint32(hdr[20:24])
+	n := binary.LittleEndian.Uint32(hdr[24:28])
+	payload = make([]byte, n)
+	_, err = io.ReadFull(r, payload)
+	return
+}
+
+// TCPServer serves the framed protocol on a listener.
+type TCPServer struct {
+	handler Handler
+	ln      net.Listener
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ServeTCP starts serving on addr ("127.0.0.1:0" for an ephemeral port)
+// and returns the server; Addr reports the bound address.
+func ServeTCP(addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{handler: h, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for connection goroutines.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var wmu sync.Mutex
+	for {
+		id, at, _, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		// Handle concurrently so one slow op does not stall the stream.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			resp, done, herr := s.handler(at, payload)
+			status := uint32(0)
+			if herr != nil {
+				status = 1
+				resp = []byte(herr.Error())
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = writeFrame(conn, id, done, status, resp)
+		}()
+	}
+}
+
+// TCPConn is a multiplexing client connection.
+type TCPConn struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes frame writes from concurrent Calls
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan tcpReply
+	closed  bool
+	readErr error
+}
+
+type tcpReply struct {
+	at      vtime.Time
+	status  uint32
+	payload []byte
+}
+
+// DialTCP connects to a TCPServer.
+func DialTCP(addr string) (*TCPConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &TCPConn{conn: conn, pending: make(map[uint64]chan tcpReply)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *TCPConn) readLoop() {
+	for {
+		id, at, status, payload, err := readFrame(c.conn)
+		c.mu.Lock()
+		if err != nil {
+			c.readErr = err
+			for _, ch := range c.pending {
+				close(ch)
+			}
+			c.pending = make(map[uint64]chan tcpReply)
+			c.mu.Unlock()
+			return
+		}
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- tcpReply{at: at, status: status, payload: payload}
+		}
+	}
+}
+
+// Call implements Conn.
+func (c *TCPConn) Call(at vtime.Time, req []byte) ([]byte, vtime.Time, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, at, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan tcpReply, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(c.conn, id, at, 0, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, at, err
+	}
+	reply, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, at, fmt.Errorf("msgr: connection lost: %w", err)
+	}
+	if reply.status != 0 {
+		return nil, reply.at, fmt.Errorf("msgr: remote: %s", reply.payload)
+	}
+	return reply.payload, reply.at, nil
+}
+
+// Close implements Conn.
+func (c *TCPConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+var _ Conn = (*TCPConn)(nil)

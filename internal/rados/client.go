@@ -1,0 +1,104 @@
+package rados
+
+import (
+	"fmt"
+
+	"repro/internal/msgr"
+	"repro/internal/vtime"
+)
+
+// Client issues object operations to the cluster, routing each request to
+// the primary OSD of the object's placement group (libRADOS' role).
+type Client struct {
+	cmap  *ClusterMap
+	conns map[int]msgr.Conn
+}
+
+// Operate sends one atomic request (all ops target the same object) and
+// returns the per-op results and the virtual completion time.
+//
+// Mutating requests carry the snap context; read requests may address a
+// snapshot via snapID.
+func (c *Client) Operate(at vtime.Time, pool, object string, snapc SnapContext, snapID uint64, ops []Op) ([]Result, vtime.Time, error) {
+	if len(ops) == 0 {
+		return nil, at, fmt.Errorf("rados: empty request")
+	}
+	primary := c.cmap.PrimaryFor(pool, object)
+	conn, ok := c.conns[primary]
+	if !ok {
+		return nil, at, fmt.Errorf("rados: no connection to osd%d", primary)
+	}
+	req := &Request{
+		Pool:    pool,
+		Object:  object,
+		SnapID:  snapID,
+		SnapSeq: snapc.Seq,
+		Ops:     ops,
+	}
+	respPayload, end, err := conn.Call(at, req.Marshal())
+	if err != nil {
+		return nil, at, err
+	}
+	reply, err := UnmarshalReply(respPayload)
+	if err != nil {
+		return nil, at, err
+	}
+	if len(reply.Results) != len(ops) {
+		return nil, at, fmt.Errorf("rados: %d results for %d ops", len(reply.Results), len(ops))
+	}
+	return reply.Results, end, nil
+}
+
+// Write is a convenience wrapper for a single data write.
+func (c *Client) Write(at vtime.Time, pool, object string, snapc SnapContext, off int64, data []byte) (vtime.Time, error) {
+	res, end, err := c.Operate(at, pool, object, snapc, 0, []Op{{Kind: OpWrite, Off: off, Data: data}})
+	if err != nil {
+		return at, err
+	}
+	return end, res[0].Status.Err()
+}
+
+// Read is a convenience wrapper for a single read from the object head.
+func (c *Client) Read(at vtime.Time, pool, object string, off, length int64) ([]byte, vtime.Time, error) {
+	return c.ReadSnap(at, pool, object, 0, off, length)
+}
+
+// ReadSnap reads from a snapshot (snapID 0 addresses the head).
+func (c *Client) ReadSnap(at vtime.Time, pool, object string, snapID uint64, off, length int64) ([]byte, vtime.Time, error) {
+	res, end, err := c.Operate(at, pool, object, SnapContext{}, snapID, []Op{{Kind: OpRead, Off: off, Len: length}})
+	if err != nil {
+		return nil, at, err
+	}
+	if err := res[0].Status.Err(); err != nil {
+		return nil, end, err
+	}
+	return res[0].Data, end, nil
+}
+
+// Delete removes an object.
+func (c *Client) Delete(at vtime.Time, pool, object string) (vtime.Time, error) {
+	res, end, err := c.Operate(at, pool, object, SnapContext{}, 0, []Op{{Kind: OpDelete}})
+	if err != nil {
+		return at, err
+	}
+	return end, res[0].Status.Err()
+}
+
+// Stat returns an object's logical size.
+func (c *Client) Stat(at vtime.Time, pool, object string) (int64, vtime.Time, error) {
+	res, end, err := c.Operate(at, pool, object, SnapContext{}, 0, []Op{{Kind: OpStat}})
+	if err != nil {
+		return 0, at, err
+	}
+	if err := res[0].Status.Err(); err != nil {
+		return 0, end, err
+	}
+	return res[0].Size, end, nil
+}
+
+// Close closes all OSD connections.
+func (c *Client) Close() {
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+}

@@ -1,0 +1,372 @@
+// Package rados implements a miniature RADOS: replicated object storage
+// with atomic multi-op transactions, OMAP, attributes and self-managed
+// snapshots, served by OSD daemons over the msgr transport. It is the
+// substrate substitution for the paper's Ceph cluster (DESIGN.md §2): the
+// experiments need RADOS' structural path — client → primary OSD →
+// replicas → per-disk object stores — and its transaction atomicity,
+// both of which are real here.
+package rados
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// OpKind enumerates object operations.
+type OpKind uint8
+
+// Operation kinds. Writes (everything except OpRead, OpStat, OpGetAttr,
+// OpOmapGetRange) mutate and are replicated.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	OpTruncate
+	OpDelete
+	OpStat
+	OpOmapSet
+	OpOmapDel
+	OpOmapGetRange
+	OpGetAttr
+	OpSetAttr
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpTruncate:
+		return "truncate"
+	case OpDelete:
+		return "delete"
+	case OpStat:
+		return "stat"
+	case OpOmapSet:
+		return "omap-set"
+	case OpOmapDel:
+		return "omap-del"
+	case OpOmapGetRange:
+		return "omap-get-range"
+	case OpGetAttr:
+		return "getattr"
+	case OpSetAttr:
+		return "setattr"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Mutates reports whether the op kind changes object state.
+func (k OpKind) Mutates() bool {
+	switch k {
+	case OpRead, OpStat, OpGetAttr, OpOmapGetRange:
+		return false
+	}
+	return true
+}
+
+// Pair is a key-value pair for OMAP and attribute operations.
+type Pair struct {
+	Key   []byte
+	Value []byte
+}
+
+// Op is a single object operation inside a request. Field use by kind:
+//
+//	OpRead:         Off, Len
+//	OpWrite:        Off, Data
+//	OpTruncate:     Off (the new size)
+//	OpDelete:       —
+//	OpStat:         —
+//	OpOmapSet:      Pairs
+//	OpOmapDel:      Pairs (keys only)
+//	OpOmapGetRange: Key (lo), Key2 (hi, empty = end), Len (limit, 0 = all)
+//	OpGetAttr:      Key
+//	OpSetAttr:      Key, Data
+type Op struct {
+	Kind  OpKind
+	Off   int64
+	Len   int64
+	Key   []byte
+	Key2  []byte
+	Data  []byte
+	Pairs []Pair
+}
+
+// Status is a per-op result code.
+type Status int32
+
+// Result statuses.
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusInvalid
+	StatusNoSpace
+	StatusError
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not-found"
+	case StatusInvalid:
+		return "invalid"
+	case StatusNoSpace:
+		return "no-space"
+	default:
+		return "error"
+	}
+}
+
+// Err converts a non-OK status to an error.
+func (s Status) Err() error {
+	if s == StatusOK {
+		return nil
+	}
+	switch s {
+	case StatusNotFound:
+		return ErrNotFound
+	case StatusInvalid:
+		return ErrInvalid
+	case StatusNoSpace:
+		return ErrNoSpace
+	default:
+		return errors.New("rados: operation failed")
+	}
+}
+
+// Sentinel errors mapped from statuses.
+var (
+	ErrNotFound = errors.New("rados: object not found")
+	ErrInvalid  = errors.New("rados: invalid operation")
+	ErrNoSpace  = errors.New("rados: out of space")
+)
+
+// Result is the outcome of one op.
+type Result struct {
+	Status Status
+	Data   []byte
+	Pairs  []Pair
+	Size   int64
+}
+
+// SnapContext accompanies writes: Seq is the most recent snapshot id of
+// the image; a write to an object whose last write predates Seq triggers
+// clone-on-write. The zero SnapContext means "no snapshots".
+type SnapContext struct {
+	Seq uint64
+}
+
+// Request is one client→OSD (or primary→replica) message.
+type Request struct {
+	Pool    string
+	Object  string
+	SnapID  uint64 // read source: 0 = head, else snapshot id
+	SnapSeq uint64 // write snap context
+	Replica bool   // internal: apply locally, do not re-replicate
+	Ops     []Op
+}
+
+// Reply carries one Result per request op.
+type Reply struct {
+	Results []Result
+}
+
+// ---- wire encoding ----
+
+// ErrWire reports a malformed message.
+var ErrWire = errors.New("rados: malformed message")
+
+type wireWriter struct{ buf []byte }
+
+func (w *wireWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *wireWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *wireWriter) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *wireWriter) i64(v int64)  { w.u64(uint64(v)) }
+func (w *wireWriter) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *wireWriter) str(s string) { w.bytes([]byte(s)) }
+func (w *wireWriter) pairs(ps []Pair) {
+	w.u32(uint32(len(ps)))
+	for _, p := range ps {
+		w.bytes(p.Key)
+		w.bytes(p.Value)
+	}
+}
+
+type wireReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = ErrWire
+	}
+}
+
+func (r *wireReader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *wireReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *wireReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *wireReader) i64() int64 { return int64(r.u64()) }
+
+func (r *wireReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, r.buf[r.off:r.off+n])
+	r.off += n
+	return v
+}
+
+func (r *wireReader) str() string { return string(r.bytes()) }
+
+func (r *wireReader) pairs() []Pair {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	ps := make([]Pair, 0, n)
+	for i := 0; i < n; i++ {
+		k := r.bytes()
+		v := r.bytes()
+		if r.err != nil {
+			return nil
+		}
+		ps = append(ps, Pair{Key: k, Value: v})
+	}
+	return ps
+}
+
+// Marshal serializes a request.
+func (q *Request) Marshal() []byte {
+	w := &wireWriter{}
+	w.str(q.Pool)
+	w.str(q.Object)
+	w.u64(q.SnapID)
+	w.u64(q.SnapSeq)
+	if q.Replica {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u32(uint32(len(q.Ops)))
+	for _, op := range q.Ops {
+		w.u8(uint8(op.Kind))
+		w.i64(op.Off)
+		w.i64(op.Len)
+		w.bytes(op.Key)
+		w.bytes(op.Key2)
+		w.bytes(op.Data)
+		w.pairs(op.Pairs)
+	}
+	return w.buf
+}
+
+// UnmarshalRequest parses a request.
+func UnmarshalRequest(b []byte) (*Request, error) {
+	r := &wireReader{buf: b}
+	q := &Request{
+		Pool:    r.str(),
+		Object:  r.str(),
+		SnapID:  r.u64(),
+		SnapSeq: r.u64(),
+		Replica: r.u8() == 1,
+	}
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > 1<<20 {
+		return nil, ErrWire
+	}
+	q.Ops = make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		op := Op{
+			Kind:  OpKind(r.u8()),
+			Off:   r.i64(),
+			Len:   r.i64(),
+			Key:   r.bytes(),
+			Key2:  r.bytes(),
+			Data:  r.bytes(),
+			Pairs: r.pairs(),
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		q.Ops = append(q.Ops, op)
+	}
+	return q, r.err
+}
+
+// Marshal serializes a reply.
+func (p *Reply) Marshal() []byte {
+	w := &wireWriter{}
+	w.u32(uint32(len(p.Results)))
+	for _, res := range p.Results {
+		w.u32(uint32(res.Status))
+		w.i64(res.Size)
+		w.bytes(res.Data)
+		w.pairs(res.Pairs)
+	}
+	return w.buf
+}
+
+// UnmarshalReply parses a reply.
+func UnmarshalReply(b []byte) (*Reply, error) {
+	r := &wireReader{buf: b}
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > 1<<20 {
+		return nil, ErrWire
+	}
+	p := &Reply{Results: make([]Result, 0, n)}
+	for i := 0; i < n; i++ {
+		res := Result{
+			Status: Status(r.u32()),
+			Size:   r.i64(),
+			Data:   r.bytes(),
+			Pairs:  r.pairs(),
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		p.Results = append(p.Results, res)
+	}
+	return p, r.err
+}

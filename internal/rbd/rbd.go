@@ -1,0 +1,361 @@
+// Package rbd is the virtual-disk image layer in the role of libRBD
+// (§2.4): it stripes a linear block device over fixed-size RADOS objects
+// (4 MB by default), carries image metadata in a header object, and
+// provides self-managed snapshots. The per-sector-metadata encryption
+// layer (internal/core) piggybacks on exactly this mapping, the
+// opportunity the paper identifies in virtual disks.
+package rbd
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/rados"
+	"repro/internal/vtime"
+)
+
+// DefaultObjectSize is the striping unit (Ceph default).
+const DefaultObjectSize = 4 << 20
+
+var (
+	// ErrExists reports that an image name is taken.
+	ErrExists = errors.New("rbd: image exists")
+	// ErrNotFound reports a missing image or snapshot.
+	ErrNotFound = errors.New("rbd: not found")
+	// ErrBounds reports IO beyond the image size.
+	ErrBounds = errors.New("rbd: out of bounds")
+)
+
+// SnapInfo describes one image snapshot.
+type SnapInfo struct {
+	ID   uint64 `json:"id"`
+	Name string `json:"name"`
+}
+
+// header is the persistent image metadata (the rbd_header object).
+type header struct {
+	Size       int64      `json:"size"`
+	ObjectSize int64      `json:"object_size"`
+	SnapSeq    uint64     `json:"snap_seq"`
+	Snaps      []SnapInfo `json:"snaps"`
+	Encryption []byte     `json:"encryption,omitempty"` // LUKS container blob
+}
+
+// Image is an open image handle. All methods are safe for concurrent use.
+type Image struct {
+	client *rados.Client
+	pool   string
+	name   string
+
+	mu  sync.Mutex
+	hdr header
+}
+
+func headerObject(name string) string { return "rbd_header." + name }
+
+func dataObject(name string, idx int64) string {
+	return fmt.Sprintf("rbd_data.%s.%016x", name, idx)
+}
+
+const headerAttr = "rbd.header"
+
+// Create makes a new image of the given size.
+func Create(at vtime.Time, client *rados.Client, pool, name string, size int64) (vtime.Time, error) {
+	return CreateWithObjectSize(at, client, pool, name, size, DefaultObjectSize)
+}
+
+// CreateWithObjectSize makes a new image with a custom striping unit.
+func CreateWithObjectSize(at vtime.Time, client *rados.Client, pool, name string, size, objectSize int64) (vtime.Time, error) {
+	if size <= 0 || objectSize <= 0 || objectSize%4096 != 0 {
+		return at, fmt.Errorf("rbd: bad geometry size=%d objectSize=%d", size, objectSize)
+	}
+	// Refuse to clobber an existing image.
+	res, _, err := client.Operate(at, pool, headerObject(name), rados.SnapContext{}, 0,
+		[]rados.Op{{Kind: rados.OpGetAttr, Key: []byte(headerAttr)}})
+	if err == nil && res[0].Status == rados.StatusOK {
+		return at, fmt.Errorf("%w: %s/%s", ErrExists, pool, name)
+	}
+	hdr := header{Size: size, ObjectSize: objectSize}
+	return writeHeader(at, client, pool, name, &hdr)
+}
+
+func writeHeader(at vtime.Time, client *rados.Client, pool, name string, hdr *header) (vtime.Time, error) {
+	blob, err := json.Marshal(hdr)
+	if err != nil {
+		return at, err
+	}
+	res, end, err := client.Operate(at, pool, headerObject(name), rados.SnapContext{}, 0,
+		[]rados.Op{{Kind: rados.OpSetAttr, Key: []byte(headerAttr), Data: blob}})
+	if err != nil {
+		return at, err
+	}
+	return end, res[0].Status.Err()
+}
+
+// Open loads an image handle.
+func Open(at vtime.Time, client *rados.Client, pool, name string) (*Image, vtime.Time, error) {
+	res, end, err := client.Operate(at, pool, headerObject(name), rados.SnapContext{}, 0,
+		[]rados.Op{{Kind: rados.OpGetAttr, Key: []byte(headerAttr)}})
+	if err != nil {
+		if errors.Is(err, rados.ErrNotFound) {
+			return nil, at, fmt.Errorf("%w: image %s/%s", ErrNotFound, pool, name)
+		}
+		return nil, at, err
+	}
+	if res[0].Status != rados.StatusOK {
+		return nil, at, fmt.Errorf("%w: image %s/%s", ErrNotFound, pool, name)
+	}
+	img := &Image{client: client, pool: pool, name: name}
+	if err := json.Unmarshal(res[0].Data, &img.hdr); err != nil {
+		return nil, at, fmt.Errorf("rbd: corrupt header: %v", err)
+	}
+	return img, end, nil
+}
+
+// Name returns the image name.
+func (img *Image) Name() string { return img.name }
+
+// Size returns the image size in bytes.
+func (img *Image) Size() int64 {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	return img.hdr.Size
+}
+
+// ObjectSize returns the striping unit.
+func (img *Image) ObjectSize() int64 {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	return img.hdr.ObjectSize
+}
+
+// SnapContext returns the current write snap context.
+func (img *Image) SnapContext() rados.SnapContext {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	return rados.SnapContext{Seq: img.hdr.SnapSeq}
+}
+
+// Snaps lists the image snapshots.
+func (img *Image) Snaps() []SnapInfo {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	return append([]SnapInfo(nil), img.hdr.Snaps...)
+}
+
+// SnapID resolves a snapshot name.
+func (img *Image) SnapID(name string) (uint64, error) {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	for _, s := range img.hdr.Snaps {
+		if s.Name == name {
+			return s.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: snapshot %q", ErrNotFound, name)
+}
+
+// CreateSnap takes a snapshot: it bumps the snap sequence and persists the
+// header, so later writes trigger clone-on-write at the OSDs.
+func (img *Image) CreateSnap(at vtime.Time, name string) (uint64, vtime.Time, error) {
+	img.mu.Lock()
+	for _, s := range img.hdr.Snaps {
+		if s.Name == name {
+			img.mu.Unlock()
+			return 0, at, fmt.Errorf("%w: snapshot %q", ErrExists, name)
+		}
+	}
+	img.hdr.SnapSeq++
+	id := img.hdr.SnapSeq
+	img.hdr.Snaps = append(img.hdr.Snaps, SnapInfo{ID: id, Name: name})
+	hdr := img.hdr
+	img.mu.Unlock()
+
+	end, err := writeHeader(at, img.client, img.pool, img.name, &hdr)
+	return id, end, err
+}
+
+// SetEncryptionBlob persists the encryption container (LUKS header blob)
+// in the image metadata.
+func (img *Image) SetEncryptionBlob(at vtime.Time, blob []byte) (vtime.Time, error) {
+	img.mu.Lock()
+	img.hdr.Encryption = append([]byte(nil), blob...)
+	hdr := img.hdr
+	img.mu.Unlock()
+	return writeHeader(at, img.client, img.pool, img.name, &hdr)
+}
+
+// EncryptionBlob returns the stored encryption container, if any.
+func (img *Image) EncryptionBlob() []byte {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	return append([]byte(nil), img.hdr.Encryption...)
+}
+
+// ObjectFor maps an image offset to its object index and intra-object
+// offset.
+func (img *Image) ObjectFor(off int64) (idx, objOff int64) {
+	os := img.ObjectSize()
+	return off / os, off % os
+}
+
+// ObjectName returns the RADOS object name for an object index.
+func (img *Image) ObjectName(idx int64) string { return dataObject(img.name, idx) }
+
+// Operate issues ops against one data object with the image's snap
+// context; core's layouts use this to attach IV placement ops.
+func (img *Image) Operate(at vtime.Time, objIdx int64, snapID uint64, ops []rados.Op) ([]rados.Result, vtime.Time, error) {
+	return img.client.Operate(at, img.pool, img.ObjectName(objIdx), img.SnapContext(), snapID, ops)
+}
+
+// Extent is one object-aligned piece of an image IO.
+type Extent struct {
+	ObjIdx int64 // object index
+	ObjOff int64 // offset within the object
+	Length int64 // bytes covered
+	BufOff int64 // offset within the IO buffer
+}
+
+// Extents splits an image IO into per-object pieces, validating bounds.
+// The encryption layer uses this to plan per-object op vectors.
+func (img *Image) Extents(off int64, length int64) ([]Extent, error) {
+	if off < 0 || length < 0 || off+length > img.Size() {
+		return nil, fmt.Errorf("%w: [%d,+%d) size %d", ErrBounds, off, length, img.Size())
+	}
+	os := img.ObjectSize()
+	var out []Extent
+	var done int64
+	for done < length {
+		idx := (off + done) / os
+		objOff := (off + done) % os
+		n := os - objOff
+		if n > length-done {
+			n = length - done
+		}
+		out = append(out, Extent{ObjIdx: idx, ObjOff: objOff, Length: n, BufOff: done})
+		done += n
+	}
+	return out, nil
+}
+
+// WriteAt writes p at off (plaintext images; the encryption layer has its
+// own path). Object ops are issued concurrently; the returned time is the
+// latest completion.
+func (img *Image) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
+	exts, err := img.Extents(off, int64(len(p)))
+	if err != nil {
+		return at, err
+	}
+	return img.parallel(at, exts, func(ext Extent) []rados.Op {
+		return []rados.Op{{Kind: rados.OpWrite, Off: ext.ObjOff, Data: p[ext.BufOff : ext.BufOff+ext.Length]}}
+	}, nil)
+}
+
+// ReadAt fills p from off, reading the image head. Holes (unwritten
+// objects) read as zeros.
+func (img *Image) ReadAt(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
+	return img.ReadAtSnap(at, p, off, 0)
+}
+
+// ReadAtSnap reads from a snapshot (0 = head).
+func (img *Image) ReadAtSnap(at vtime.Time, p []byte, off int64, snapID uint64) (vtime.Time, error) {
+	exts, err := img.Extents(off, int64(len(p)))
+	if err != nil {
+		return at, err
+	}
+	return img.parallelSnap(at, exts, snapID, func(ext Extent) []rados.Op {
+		return []rados.Op{{Kind: rados.OpRead, Off: ext.ObjOff, Len: ext.Length}}
+	}, func(ext Extent, res []rados.Result) error {
+		switch res[0].Status {
+		case rados.StatusOK:
+			copy(p[ext.BufOff:ext.BufOff+ext.Length], res[0].Data)
+			// Short object reads (beyond object size) are zero-filled.
+			for i := int64(len(res[0].Data)); i < ext.Length; i++ {
+				p[ext.BufOff+i] = 0
+			}
+		case rados.StatusNotFound:
+			for i := int64(0); i < ext.Length; i++ {
+				p[ext.BufOff+i] = 0
+			}
+		default:
+			return res[0].Status.Err()
+		}
+		return nil
+	})
+}
+
+// parallel fans object requests out concurrently and joins completions.
+func (img *Image) parallel(at vtime.Time, exts []Extent, build func(Extent) []rados.Op, handle func(Extent, []rados.Result) error) (vtime.Time, error) {
+	return img.parallelSnap(at, exts, 0, build, handle)
+}
+
+func (img *Image) parallelSnap(at vtime.Time, exts []Extent, snapID uint64, build func(Extent) []rados.Op, handle func(Extent, []rados.Result) error) (vtime.Time, error) {
+	if len(exts) == 1 {
+		// Fast path: no goroutine churn for single-object IOs.
+		res, end, err := img.Operate(at, exts[0].ObjIdx, snapID, build(exts[0]))
+		if err != nil {
+			return at, err
+		}
+		if handle != nil {
+			if err := handle(exts[0], res); err != nil {
+				return at, err
+			}
+		} else if err := firstError(res); err != nil {
+			return at, err
+		}
+		return end, nil
+	}
+	type outcome struct {
+		end vtime.Time
+		err error
+	}
+	ch := make(chan outcome, len(exts))
+	for _, ext := range exts {
+		go func(ext Extent) {
+			res, end, err := img.Operate(at, ext.ObjIdx, snapID, build(ext))
+			if err == nil {
+				if handle != nil {
+					err = handle(ext, res)
+				} else {
+					err = firstError(res)
+				}
+			}
+			ch <- outcome{end: end, err: err}
+		}(ext)
+	}
+	end := at
+	var firstErr error
+	for range exts {
+		o := <-ch
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+		end = vtime.Max(end, o.end)
+	}
+	if firstErr != nil {
+		return at, firstErr
+	}
+	return end, nil
+}
+
+func firstError(res []rados.Result) error {
+	for _, r := range res {
+		if err := r.Status.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Marshal helpers for tests and tools.
+
+// EncodeBlockIndex renders a block index as the fixed-width big-endian key
+// used for OMAP IVs, so lexicographic order equals numeric order.
+func EncodeBlockIndex(idx uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], idx)
+	return b[:]
+}

@@ -1,0 +1,82 @@
+package simdisk
+
+import (
+	"fmt"
+
+	"repro/internal/vtime"
+)
+
+// BlockFile is the byte-granular device view consumed by the storage
+// engines built on top of simdisk (LSM store, journal, object store).
+// Implementations charge virtual time and perform read-modify-write for
+// misaligned accesses.
+type BlockFile interface {
+	ReadAt(at vtime.Time, p []byte, off int64) (vtime.Time, error)
+	WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time, error)
+	Size() int64
+}
+
+// Partition is a contiguous, sector-aligned slice of a Disk exposed as a
+// BlockFile. Multiple partitions of one disk share its time resource, so
+// journal traffic, KV traffic and data traffic contend realistically.
+type Partition struct {
+	disk        *Disk
+	startSector int64
+	sectors     int64
+}
+
+var _ BlockFile = (*Partition)(nil)
+
+// NewPartition carves [startSector, startSector+sectors) out of d.
+func NewPartition(d *Disk, startSector, sectors int64) *Partition {
+	if startSector < 0 || sectors <= 0 || startSector+sectors > d.sectors {
+		panic(fmt.Sprintf("simdisk: bad partition [%d,+%d) of %d", startSector, sectors, d.sectors))
+	}
+	return &Partition{disk: d, startSector: startSector, sectors: sectors}
+}
+
+// Size returns the partition length in bytes.
+func (p *Partition) Size() int64 { return p.sectors * SectorSize }
+
+// Disk returns the underlying device.
+func (p *Partition) Disk() *Disk { return p.disk }
+
+func (p *Partition) check(off, n int64) error {
+	if off < 0 || n < 0 || off+n > p.Size() {
+		return fmt.Errorf("%w: off %d len %d in partition of %d bytes",
+			ErrOutOfRange, off, n, p.Size())
+	}
+	return nil
+}
+
+// ReadAt reads len(b) bytes at partition-relative offset off.
+func (p *Partition) ReadAt(at vtime.Time, b []byte, off int64) (vtime.Time, error) {
+	if err := p.check(off, int64(len(b))); err != nil {
+		return at, err
+	}
+	return p.disk.ReadAt(at, b, p.startSector*SectorSize+off)
+}
+
+// WriteAt writes len(b) bytes at partition-relative offset off.
+func (p *Partition) WriteAt(at vtime.Time, b []byte, off int64) (vtime.Time, error) {
+	if err := p.check(off, int64(len(b))); err != nil {
+		return at, err
+	}
+	return p.disk.WriteAt(at, b, p.startSector*SectorSize+off)
+}
+
+// ReadSectors reads whole sectors relative to the partition start.
+func (p *Partition) ReadSectors(at vtime.Time, sector, n int64, b []byte) (vtime.Time, error) {
+	if sector < 0 || n < 0 || sector+n > p.sectors {
+		return at, fmt.Errorf("%w: partition sector %d count %d", ErrOutOfRange, sector, n)
+	}
+	return p.disk.ReadSectors(at, p.startSector+sector, n, b)
+}
+
+// WriteSectors writes whole sectors relative to the partition start.
+func (p *Partition) WriteSectors(at vtime.Time, sector, n int64, b []byte) (vtime.Time, error) {
+	if sector < 0 || n < 0 || sector+n > p.sectors {
+		return at, fmt.Errorf("%w: partition sector %d count %d", ErrOutOfRange, sector, n)
+	}
+	return p.disk.WriteSectors(at, p.startSector+sector, n, b)
+}

@@ -1,0 +1,132 @@
+// Package repro reproduces "Rethinking Block Storage Encryption with
+// Virtual Disks" (Harnik, Naor, Ofer, Ozery — HotStorage 2022) as a
+// self-contained Go library.
+//
+// The paper's idea: virtual disks already own a virtual-to-physical
+// mapping layer, so unlike physical disks they can cheaply store
+// per-sector metadata — enough for a fresh random IV per 4 KiB block
+// (semantically secure overwrites) and even authentication tags. The
+// library implements the full system around that idea: a miniature Ceph
+// RADOS (OSDs, replication, transactions, OMAP, snapshots) over simulated
+// NVMe devices, an RBD-style image layer, a LUKS2-style key container,
+// AES-XTS/ESSIV/EME2/GCM sector ciphers, the paper's three IV placement
+// layouts, a dm-crypt+dm-integrity comparator, an fio-style workload
+// engine, and a benchmark harness regenerating every figure.
+//
+// This root package is a convenience facade over the internal packages:
+//
+//	cluster, _ := repro.NewCluster(repro.TestClusterConfig())
+//	defer cluster.Close()
+//	img, _ := repro.CreateEncryptedImage(cluster.NewClient("host"),
+//	    "rbd", "vol0", 64<<20, []byte("passphrase"),
+//	    repro.Options{Scheme: repro.SchemeXTSRand, Layout: repro.LayoutObjectEnd})
+//	img.WriteAt(0, data, 0)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/fio"
+	"repro/internal/rados"
+	"repro/internal/rbd"
+	"repro/internal/vtime"
+)
+
+// Re-exported types: the public API surface is the facade plus these.
+type (
+	// Cluster is a simulated RADOS cluster (see internal/rados).
+	Cluster = rados.Cluster
+	// ClusterConfig sizes a cluster.
+	ClusterConfig = rados.ClusterConfig
+	// Client is a cluster client handle.
+	Client = rados.Client
+	// Image is a plain virtual disk image.
+	Image = rbd.Image
+	// EncryptedImage is the paper's per-sector-metadata encrypted image.
+	EncryptedImage = core.EncryptedImage
+	// Options selects scheme and layout.
+	Options = core.Options
+	// Scheme is the cipher construction.
+	Scheme = core.Scheme
+	// Layout is the IV placement.
+	Layout = core.Layout
+	// Time is a virtual timestamp.
+	Time = vtime.Time
+	// WorkloadSpec describes an fio-style workload.
+	WorkloadSpec = fio.Spec
+	// WorkloadResult is a workload measurement.
+	WorkloadResult = fio.Result
+)
+
+// Schemes and layouts.
+const (
+	SchemeLUKS2    = core.SchemeLUKS2    // deterministic XTS baseline (no metadata)
+	SchemeXTSRand  = core.SchemeXTSRand  // the paper's random-IV XTS
+	SchemeGCM      = core.SchemeGCM      // authenticated (nonce+tag metadata)
+	SchemeEME2Det  = core.SchemeEME2Det  // wide-block, deterministic
+	SchemeEME2Rand = core.SchemeEME2Rand // wide-block with random IV
+
+	LayoutNone      = core.LayoutNone
+	LayoutUnaligned = core.LayoutUnaligned // Fig. 2a
+	LayoutObjectEnd = core.LayoutObjectEnd // Fig. 2b (the paper's winner)
+	LayoutOMAP      = core.LayoutOMAP      // Fig. 2c
+)
+
+// NewCluster builds and wires a simulated cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return rados.NewCluster(cfg) }
+
+// PaperClusterConfig mirrors the paper's §3.2 testbed: 3 OSD nodes with
+// 9 NVMe disks each, 3-way replication, 4 MB objects, 100 Gb/s links.
+func PaperClusterConfig() ClusterConfig { return rados.DefaultClusterConfig() }
+
+// TestClusterConfig is a small, fast cluster for examples and tests.
+func TestClusterConfig() ClusterConfig {
+	cfg := rados.DefaultClusterConfig()
+	cfg.DisksPerOSD = 2
+	cfg.DiskSectors = (1 << 30) / 4096
+	cfg.PGNum = 32
+	cfg.Blob.ObjectCapacity = 1<<20 + 64<<10
+	cfg.Blob.KVBytes = 64 << 20
+	cfg.Blob.KV.MemtableBytes = 256 << 10
+	cfg.Blob.KV.WALBytes = 4 << 20
+	return cfg
+}
+
+// CreateEncryptedImage creates an image, formats encryption on it and
+// opens it — the three-step flow collapsed for the common case. The
+// facade stripes with 1 MiB objects so it works against both
+// TestClusterConfig and PaperClusterConfig object capacities; the
+// benchmark harness uses the paper's 4 MB striping via internal/rbd.
+func CreateEncryptedImage(client *Client, pool, name string, size int64, passphrase []byte, opts Options) (*EncryptedImage, error) {
+	const objectSize = 1 << 20
+	if _, err := rbd.CreateWithObjectSize(0, client, pool, name, size, objectSize); err != nil {
+		return nil, err
+	}
+	img, _, err := rbd.Open(0, client, pool, name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.Format(0, img, passphrase, opts); err != nil {
+		return nil, err
+	}
+	enc, _, err := core.Load(0, img, passphrase)
+	return enc, err
+}
+
+// OpenEncryptedImage opens an existing encrypted image.
+func OpenEncryptedImage(client *Client, pool, name string, passphrase []byte) (*EncryptedImage, error) {
+	img, _, err := rbd.Open(0, client, pool, name)
+	if err != nil {
+		return nil, err
+	}
+	enc, _, err := core.Load(0, img, passphrase)
+	return enc, err
+}
+
+// RunWorkload executes an fio-style workload against any virtual-time
+// block target (an EncryptedImage satisfies fio.Target).
+func RunWorkload(spec WorkloadSpec, target fio.Target, start Time) (WorkloadResult, error) {
+	return fio.Run(spec, target, start)
+}
