@@ -9,6 +9,7 @@ package repro
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -140,6 +141,145 @@ func BenchmarkFig4WriteOverhead(b *testing.B) {
 				b.ReportMetric(100*(1-rs.MBps()/rb.MBps()), "overhead_%")
 			}
 		})
+	}
+}
+
+// pipelineCombos is every scheme with each of its valid layouts.
+func pipelineCombos() []struct {
+	Name   string
+	Scheme core.Scheme
+	Layout core.Layout
+} {
+	return []struct {
+		Name   string
+		Scheme core.Scheme
+		Layout core.Layout
+	}{
+		{"luks2-none", core.SchemeLUKS2, core.LayoutNone},
+		{"eme2-det-none", core.SchemeEME2Det, core.LayoutNone},
+		{"xts-rand-unaligned", core.SchemeXTSRand, core.LayoutUnaligned},
+		{"xts-rand-object-end", core.SchemeXTSRand, core.LayoutObjectEnd},
+		{"xts-rand-omap", core.SchemeXTSRand, core.LayoutOMAP},
+		{"gcm-auth-unaligned", core.SchemeGCM, core.LayoutUnaligned},
+		{"gcm-auth-object-end", core.SchemeGCM, core.LayoutObjectEnd},
+		{"gcm-auth-omap", core.SchemeGCM, core.LayoutOMAP},
+		{"eme2-rand-unaligned", core.SchemeEME2Rand, core.LayoutUnaligned},
+		{"eme2-rand-object-end", core.SchemeEME2Rand, core.LayoutObjectEnd},
+		{"eme2-rand-omap", core.SchemeEME2Rand, core.LayoutOMAP},
+	}
+}
+
+// pipelineCluster is a compact cluster for the pipeline benchmarks: the
+// IO mix is sized so crypto (the pipeline under test) dominates, and the
+// image is small enough that the non-ephemeral open benches fit in RAM.
+func pipelineCluster(b *testing.B, scheme core.Scheme, layout core.Layout, ephemeral bool) (*core.EncryptedImage, func()) {
+	b.Helper()
+	cfg := rados.DefaultClusterConfig()
+	cfg.DisksPerOSD = 2
+	cfg.DiskSectors = (1 << 30) / simdisk.SectorSize
+	cfg.PGNum = 16
+	cfg.EphemeralData = ephemeral
+	cfg.Blob.KVBytes = 256 << 20
+	cfg.Blob.KV.WALBytes = 16 << 20
+	cluster, err := rados.NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := cluster.NewClient("pipe-bench")
+	if _, err := rbd.Create(0, client, "rbd", "pipe", 64<<20); err != nil {
+		b.Fatal(err)
+	}
+	img, _, err := rbd.Open(0, client, "rbd", "pipe")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := core.Format(0, img, []byte("b"), core.Options{Scheme: scheme, Layout: layout}); err != nil {
+		b.Fatal(err)
+	}
+	enc, _, err := core.Load(0, img, []byte("b"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return enc, cluster.Close
+}
+
+// pipelineModes compares the serial datapath (ClientCores=1, the old
+// per-block loop's execution model) against the parallel worker pool.
+// The ≥2x seal/open speedup for xts-rand and gcm-auth only shows on a
+// multi-core runner; on one core the two modes should be within noise
+// (the pool hands the whole range to the calling goroutine).
+func pipelineModes() []struct {
+	Name  string
+	Cores int
+} {
+	return []struct {
+		Name  string
+		Cores int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	}
+}
+
+// BenchmarkSealPipeline measures the full encrypted write path (seal +
+// layout staging + RADOS transaction) with 1 MiB IOs, serial vs
+// parallel, across every scheme × layout.
+func BenchmarkSealPipeline(b *testing.B) {
+	for _, c := range pipelineCombos() {
+		for _, mode := range pipelineModes() {
+			b.Run(c.Name+"/"+mode.Name, func(b *testing.B) {
+				enc, closeFn := pipelineCluster(b, c.Scheme, c.Layout, true)
+				defer closeFn()
+				enc.SetParallelism(mode.Cores)
+				buf := make([]byte, 1<<20)
+				for i := range buf {
+					buf[i] = byte(i*131) | 1
+				}
+				b.SetBytes(1 << 20)
+				b.ReportAllocs()
+				b.ResetTimer()
+				now := vtime.Time(0)
+				for i := 0; i < b.N; i++ {
+					end, err := enc.WriteAt(now, buf, int64(i%32)<<21)
+					if err != nil {
+						b.Fatal(err)
+					}
+					now = end
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkOpenPipeline measures the full encrypted read path (RADOS
+// fetch + presence parse + open) with 1 MiB IOs over a preconditioned
+// region. Non-ephemeral data areas: the authenticated scheme must read
+// back real ciphertext.
+func BenchmarkOpenPipeline(b *testing.B) {
+	for _, c := range pipelineCombos() {
+		for _, mode := range pipelineModes() {
+			b.Run(c.Name+"/"+mode.Name, func(b *testing.B) {
+				enc, closeFn := pipelineCluster(b, c.Scheme, c.Layout, false)
+				defer closeFn()
+				enc.SetParallelism(mode.Cores)
+				const span = 32 << 20
+				now, err := fio.Precondition(enc, span, core.DefaultBlockSize, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf := make([]byte, 1<<20)
+				b.SetBytes(1 << 20)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					end, err := enc.ReadAt(now, buf, int64(i%32)<<20)
+					if err != nil {
+						b.Fatal(err)
+					}
+					now = end
+				}
+			})
+		}
 	}
 }
 

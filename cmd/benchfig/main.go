@@ -31,6 +31,7 @@ func main() {
 		imageMB = flag.Int64("image", 1024, "image size in MiB")
 		budget  = flag.Int64("budget", 128, "per-point IO budget in MiB")
 		qd      = flag.Int("qd", 32, "queue depth (paper: 32)")
+		cores   = flag.Int("cores", 0, "client datapath parallelism (0 = GOMAXPROCS, 1 = serial pipeline)")
 		csv     = flag.Bool("csv", false, "also print CSV")
 		quiet   = flag.Bool("quiet", false, "suppress per-point progress")
 	)
@@ -40,6 +41,7 @@ func main() {
 	cfg.ImageBytes = *imageMB << 20
 	cfg.OpsBudgetBytes = *budget << 20
 	cfg.QueueDepth = *qd
+	cfg.Cores = *cores
 	if *sizes != "" {
 		cfg.IOSizesKB = nil
 		for _, tok := range strings.Split(*sizes, ",") {

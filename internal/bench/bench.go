@@ -67,6 +67,10 @@ type Config struct {
 	MinOps, MaxOps int
 	Seed           int64
 	Cluster        func() rados.ClusterConfig
+	// Cores is the real parallelism of the client seal/open datapath
+	// (core.Options.ClientCores); 0 uses the GOMAXPROCS default, 1
+	// forces the serial pipeline. The virtual-time model is unaffected.
+	Cores int
 }
 
 // DefaultConfig returns a laptop-scale sweep that preserves the paper's
@@ -102,6 +106,9 @@ type Point struct {
 	IOPS      float64
 	P99Micros float64
 	Ops       int
+	// RealMBps is wall-clock bandwidth through the client datapath
+	// (real-CPU mode) — the figure the parallel pipeline accelerates.
+	RealMBps float64
 }
 
 // Series maps scheme name -> size -> point, for one direction.
@@ -160,6 +167,9 @@ func sweepScheme(cfg Config, spec SchemeSpec, reads, writes *Series, progress fu
 	if err != nil {
 		return err
 	}
+	if cfg.Cores > 0 {
+		enc.SetParallelism(cfg.Cores)
+	}
 
 	// The paper measures a full image: precondition once per scheme.
 	now, err := fio.Precondition(enc, 0, core.DefaultBlockSize, 0)
@@ -199,6 +209,7 @@ func sweepScheme(cfg Config, spec SchemeSpec, reads, writes *Series, progress fu
 				IOPS:      res.IOPS(),
 				P99Micros: float64(res.Latencies.P99.Microseconds()),
 				Ops:       res.Ops,
+				RealMBps:  res.WallMBps(),
 			}
 			if pattern.Reads() {
 				reads.Points[spec.Name][kb] = p
@@ -206,8 +217,8 @@ func sweepScheme(cfg Config, spec SchemeSpec, reads, writes *Series, progress fu
 				writes.Points[spec.Name][kb] = p
 			}
 			if progress != nil {
-				progress(fmt.Sprintf("%-12s %-9s %5d KiB  %8.1f MB/s  (%d ops, wall %v)",
-					spec.Name, pattern, kb, p.MBps, res.Ops, res.WallTime.Round(1e6)))
+				progress(fmt.Sprintf("%-12s %-9s %5d KiB  %8.1f MB/s  (%d ops, wall %v, real %.0f MB/s)",
+					spec.Name, pattern, kb, p.MBps, res.Ops, res.WallTime.Round(1e6), p.RealMBps))
 			}
 		}
 	}
@@ -291,14 +302,14 @@ func FormatOverhead(title string, s *Series, baseline string) string {
 // CSV renders a series as comma-separated values.
 func CSV(s *Series) string {
 	var b strings.Builder
-	b.WriteString("pattern,scheme,kb,mbps,iops,p99_us,ops\n")
+	b.WriteString("pattern,scheme,kb,mbps,iops,p99_us,ops,real_mbps\n")
 	names := append([]string(nil), s.Schemes...)
 	sort.Strings(names)
 	for _, name := range names {
 		for _, kb := range s.Sizes {
 			p := s.Points[name][kb]
-			fmt.Fprintf(&b, "%s,%s,%d,%.2f,%.1f,%.1f,%d\n",
-				s.Pattern, name, kb, p.MBps, p.IOPS, p.P99Micros, p.Ops)
+			fmt.Fprintf(&b, "%s,%s,%d,%.2f,%.1f,%.1f,%d,%.2f\n",
+				s.Pattern, name, kb, p.MBps, p.IOPS, p.P99Micros, p.Ops, p.RealMBps)
 		}
 	}
 	return b.String()

@@ -19,7 +19,6 @@ import (
 	"time"
 
 	"repro/internal/luks"
-	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/vtime"
 )
@@ -46,8 +45,15 @@ type Options struct {
 	// time (ns/byte); zero uses a default calibrated to AES-NI XTS.
 	// Real CPU time is measured by the Go benchmarks directly.
 	ClientCryptoNsPerByte float64
-	// ClientCores is the parallelism of the client crypto resource.
+	// ClientCores is the real parallelism of the seal/open datapath: how
+	// many blocks are ciphered concurrently on the worker pool. Defaults
+	// to runtime.GOMAXPROCS(0); 1 forces the serial path.
 	ClientCores int
+	// ModelCores is the width of the *virtual-time* client crypto
+	// resource (the simulated client of §3.2). It defaults to 8 so
+	// simulated bandwidth stays machine-independent even though the real
+	// datapath scales with the host.
+	ModelCores int
 }
 
 func (o Options) withDefaults() Options {
@@ -58,7 +64,10 @@ func (o Options) withDefaults() Options {
 		o.ClientCryptoNsPerByte = 0.4 // ≈2.5 GB/s per core
 	}
 	if o.ClientCores <= 0 {
-		o.ClientCores = 8
+		o.ClientCores = maxParallelism()
+	}
+	if o.ModelCores <= 0 {
+		o.ModelCores = 8
 	}
 	return o
 }
@@ -99,6 +108,7 @@ type EncryptedImage struct {
 	cryptor cryptor
 	plan    planner
 	cpu     *vtime.MultiResource
+	workers int // datapath parallelism (ClientCores)
 }
 
 // Format initializes encryption on an image: generates a master key,
@@ -177,9 +187,22 @@ func Load(at vtime.Time, img *rbd.Image, passphrase []byte) (*EncryptedImage, vt
 			metaLen:    int64(c.metaLen()),
 			objectSize: img.ObjectSize(),
 		},
-		cpu: vtime.NewMultiResource(img.Name()+"/crypto", opts.ClientCores),
+		cpu:     vtime.NewMultiResource(img.Name()+"/crypto", opts.ModelCores),
+		workers: opts.ClientCores,
 	}
 	return e, at, nil
+}
+
+// SetParallelism overrides the real datapath parallelism (the number of
+// blocks ciphered concurrently). n <= 1 forces the serial path; the
+// virtual-time cost model is unaffected. It is a tuning knob for
+// benchmarks and busy multi-image clients and must not be called
+// concurrently with IO.
+func (e *EncryptedImage) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
 }
 
 // Image returns the underlying image.
@@ -214,6 +237,12 @@ func (e *EncryptedImage) chargeCrypto(at vtime.Time, n int64) vtime.Time {
 
 // WriteAt encrypts p and writes it (with per-block metadata under the
 // image's layout) at off. The IO must be block-aligned, as with dm-crypt.
+//
+// The seal pipeline is zero-copy and parallel: each extent gets a
+// layout-aware writePlan whose wire buffers are the very payloads the
+// RADOS ops will carry, the cryptor seals every block directly into its
+// wire destination, and the per-block work is fanned across the shared
+// datapath worker pool (within and across extents).
 func (e *EncryptedImage) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
 	if err := e.checkAligned(p, off); err != nil {
 		return at, err
@@ -226,46 +255,58 @@ func (e *EncryptedImage) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time
 		return at, err
 	}
 	bs := e.opts.BlockSize
-	metaLen := int64(e.cryptor.metaLen())
 
-	type objWrite struct {
-		ext rbd.Extent
-		ops []rados.Op
+	plans := make([]*writePlan, len(exts))
+	for i, ext := range exts {
+		plans[i] = e.plan.newWritePlan(ext.ObjOff/bs, ext.Length/bs)
 	}
-	writes := make([]objWrite, 0, len(exts))
-	for _, ext := range exts {
-		nb := ext.Length / bs
-		cipherBuf := make([]byte, ext.Length)
-		metaBuf := make([]byte, nb*metaLen)
-		if rl := int64(e.cryptor.randLen()); rl > 0 {
-			// One entropy draw per extent: fill the random prefix of every
-			// block's metadata slot.
-			if _, err := rand.Read(metaBuf); err != nil {
-				return at, err
+	release := func() {
+		for _, w := range plans {
+			w.release()
+		}
+	}
+
+	// One entropy draw per IO, scattered into the random prefix of every
+	// block's metadata slot.
+	if rl := e.cryptor.randLen(); rl > 0 {
+		nbTotal := int64(len(p)) / bs
+		rbuf := getBuf(int(nbTotal) * rl)
+		if _, err := rand.Read(rbuf); err != nil {
+			release()
+			return at, err
+		}
+		g := 0
+		for i := range exts {
+			for b := int64(0); b < exts[i].Length/bs; b++ {
+				copy(plans[i].metaDst(b)[:rl], rbuf[g*rl:])
+				g++
 			}
 		}
-		for b := int64(0); b < nb; b++ {
-			blockIdx := uint64((off+ext.BufOff)/bs + b)
-			src := p[ext.BufOff+b*bs : ext.BufOff+(b+1)*bs]
-			dst := cipherBuf[b*bs : (b+1)*bs]
-			meta := metaBuf[b*metaLen : (b+1)*metaLen]
-			if err := e.cryptor.seal(dst, src, blockIdx, meta); err != nil {
-				return at, err
-			}
-		}
-		startBlock := ext.ObjOff / bs
-		writes = append(writes, objWrite{ext: ext, ops: e.plan.writeOps(startBlock, cipherBuf, metaBuf)})
+		putBuf(rbuf)
+	}
+
+	err = forExtentBlocks(e.workers, exts, bs, func(ei int, b int64) error {
+		ext := exts[ei]
+		blockIdx := uint64((off+ext.BufOff)/bs + b)
+		src := p[ext.BufOff+b*bs : ext.BufOff+(b+1)*bs]
+		return e.cryptor.seal(plans[ei].cipherDst(b), src, blockIdx, plans[ei].metaDst(b))
+	})
+	if err != nil {
+		release()
+		return at, err
 	}
 
 	at = e.chargeCrypto(at, int64(len(p)))
 
-	// Fan out per-object transactions.
+	// Fan out per-object transactions. Operate marshals payloads before
+	// returning, so the plans can be released once every call is back.
 	type outcome struct {
 		end vtime.Time
 		err error
 	}
-	if len(writes) == 1 {
-		res, end, err := e.img.Operate(at, writes[0].ext.ObjIdx, 0, writes[0].ops)
+	if len(plans) == 1 {
+		res, end, err := e.img.Operate(at, exts[0].ObjIdx, 0, plans[0].ops())
+		release()
 		if err != nil {
 			return at, err
 		}
@@ -276,10 +317,10 @@ func (e *EncryptedImage) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time
 		}
 		return end, nil
 	}
-	ch := make(chan outcome, len(writes))
-	for _, w := range writes {
-		go func(w objWrite) {
-			res, end, err := e.img.Operate(at, w.ext.ObjIdx, 0, w.ops)
+	ch := make(chan outcome, len(plans))
+	for i := range plans {
+		go func(i int) {
+			res, end, err := e.img.Operate(at, exts[i].ObjIdx, 0, plans[i].ops())
 			if err == nil {
 				for _, r := range res {
 					if serr := r.Status.Err(); serr != nil {
@@ -289,17 +330,18 @@ func (e *EncryptedImage) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time
 				}
 			}
 			ch <- outcome{end: end, err: err}
-		}(w)
+		}(i)
 	}
 	end := at
 	var firstErr error
-	for range writes {
+	for range plans {
 		o := <-ch
 		if o.err != nil && firstErr == nil {
 			firstErr = o.err
 		}
 		end = vtime.Max(end, o.end)
 	}
+	release()
 	if firstErr != nil {
 		return at, firstErr
 	}
@@ -313,6 +355,13 @@ func (e *EncryptedImage) ReadAt(at vtime.Time, p []byte, off int64) (vtime.Time,
 
 // ReadAtSnap reads from a snapshot (0 = head). Stored IVs travel with
 // snapshot clones, so old versions decrypt with their original IVs.
+//
+// The open pipeline mirrors WriteAt: per-object fetches fan out first
+// (virtual-time concurrency), then every fetched block is opened in
+// parallel on the shared datapath pool, decrypting straight into p.
+// Block presence comes from the read results (object existence, logical
+// size, OMAP keys — see parseReadInto), never from sniffing content, so
+// a legitimately written all-zero-ciphertext block decrypts normally.
 func (e *EncryptedImage) ReadAtSnap(at vtime.Time, p []byte, off int64, snapID uint64) (vtime.Time, error) {
 	if err := e.checkAligned(p, off); err != nil {
 		return at, err
@@ -325,65 +374,89 @@ func (e *EncryptedImage) ReadAtSnap(at vtime.Time, p []byte, off int64, snapID u
 		return at, err
 	}
 	bs := e.opts.BlockSize
+	metaLen := int64(e.cryptor.metaLen())
 
-	type outcome struct {
-		end vtime.Time
-		err error
+	// Phase 1: fetch ciphertext+metadata for every extent into pooled
+	// buffers, concurrently across objects.
+	type extRead struct {
+		cipher  []byte
+		metas   []byte
+		present []byte // 0/1 per block, pooled like the data buffers
 	}
-	readOne := func(ext rbd.Extent) (vtime.Time, error) {
+	bufs := make([]extRead, len(exts))
+	release := func() {
+		for i := range bufs {
+			putBuf(bufs[i].cipher)
+			putBuf(bufs[i].metas)
+			putBuf(bufs[i].present)
+		}
+	}
+	fetchOne := func(i int) (vtime.Time, error) {
+		ext := exts[i]
 		startBlock := ext.ObjOff / bs
 		nb := ext.Length / bs
 		res, end, err := e.img.Operate(at, ext.ObjIdx, snapID, e.plan.readOps(startBlock, nb))
 		if err != nil {
 			return at, err
 		}
-		cipher, metas, err := e.plan.parseRead(startBlock, nb, res)
-		if err != nil {
+		bufs[i].cipher = getBuf(int(nb * bs))
+		bufs[i].metas = getBuf(int(nb * metaLen))
+		bufs[i].present = getBuf(int(nb))
+		if err := e.plan.parseReadInto(startBlock, nb, res, bufs[i].cipher, bufs[i].metas, bufs[i].present); err != nil {
 			return at, err
-		}
-		metaLen := int64(e.cryptor.metaLen())
-		for b := int64(0); b < nb; b++ {
-			blockIdx := uint64((off+ext.BufOff)/bs + b)
-			src := cipher[b*bs : (b+1)*bs]
-			dst := p[ext.BufOff+b*bs : ext.BufOff+(b+1)*bs]
-			meta := metas[b*metaLen : (b+1)*metaLen]
-			if allZero(src) && allZero(meta) {
-				// Hole: never written (sparse read).
-				clear(dst)
-				continue
-			}
-			if err := e.cryptor.open(dst, src, blockIdx, meta); err != nil {
-				return at, err
-			}
 		}
 		return end, nil
 	}
 
+	end := at
 	if len(exts) == 1 {
-		end, err := readOne(exts[0])
-		if err != nil {
+		if end, err = fetchOne(0); err != nil {
+			release()
 			return at, err
 		}
-		return e.chargeCrypto(end, int64(len(p))), nil
-	}
-	ch := make(chan outcome, len(exts))
-	for _, ext := range exts {
-		go func(ext rbd.Extent) {
-			end, err := readOne(ext)
-			ch <- outcome{end: end, err: err}
-		}(ext)
-	}
-	end := at
-	var firstErr error
-	for range exts {
-		o := <-ch
-		if o.err != nil && firstErr == nil {
-			firstErr = o.err
+	} else {
+		type outcome struct {
+			end vtime.Time
+			err error
 		}
-		end = vtime.Max(end, o.end)
+		ch := make(chan outcome, len(exts))
+		for i := range exts {
+			go func(i int) {
+				e, err := fetchOne(i)
+				ch <- outcome{end: e, err: err}
+			}(i)
+		}
+		var firstErr error
+		for range exts {
+			o := <-ch
+			if o.err != nil && firstErr == nil {
+				firstErr = o.err
+			}
+			end = vtime.Max(end, o.end)
+		}
+		if firstErr != nil {
+			release()
+			return at, firstErr
+		}
 	}
-	if firstErr != nil {
-		return at, firstErr
+
+	// Phase 2: open every block in parallel, straight into p.
+	err = forExtentBlocks(e.workers, exts, bs, func(ei int, b int64) error {
+		ext := exts[ei]
+		dst := p[ext.BufOff+b*bs : ext.BufOff+(b+1)*bs]
+		if bufs[ei].present[b] == 0 {
+			// Hole: never written (sparse read).
+			clear(dst)
+			return nil
+		}
+		blockIdx := uint64((off+ext.BufOff)/bs + b)
+		src := bufs[ei].cipher[b*bs : (b+1)*bs]
+		meta := bufs[ei].metas[b*metaLen : (b+1)*metaLen]
+		return e.cryptor.open(dst, src, blockIdx, meta)
+	})
+	release()
+	if err != nil {
+		return at, err
 	}
 	return e.chargeCrypto(end, int64(len(p))), nil
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/crypto/eme"
 	"repro/internal/crypto/xts"
@@ -165,17 +166,49 @@ type gcmAuth struct{ aead cipher.AEAD }
 func (g *gcmAuth) metaLen() int { return 28 }
 func (g *gcmAuth) randLen() int { return 12 }
 
-func gcmAAD(blockIdx uint64) []byte {
-	var aad [8]byte
-	binary.LittleEndian.PutUint64(aad[:], blockIdx)
-	return aad[:]
+// gcmScratch holds the nonce, AAD and ciphertext staging for one
+// seal/open. It is pooled because the arrays are passed into the
+// cipher.AEAD interface, which would otherwise force a heap escape on
+// every 4 KiB block; ct is grown once per block size and then reused.
+type gcmScratch struct {
+	nonce [12]byte
+	aad   [8]byte
+	ct    []byte
 }
+
+func (s *gcmScratch) buf(n int) []byte {
+	if cap(s.ct) < n {
+		s.ct = make([]byte, n)
+	}
+	return s.ct[:n]
+}
+
+var gcmScratchPool = sync.Pool{New: func() any { return new(gcmScratch) }}
 
 func (g *gcmAuth) seal(dst, src []byte, blockIdx uint64, meta []byte) error {
 	if len(meta) != 28 {
 		return fmt.Errorf("core: gcm needs 28 metadata bytes, got %d", len(meta))
 	}
-	out := g.aead.Seal(nil, meta[:12], src, gcmAAD(blockIdx))
+	s := gcmScratchPool.Get().(*gcmScratch)
+	defer gcmScratchPool.Put(s)
+	copy(s.nonce[:], meta[:12])
+	binary.LittleEndian.PutUint64(s.aad[:], blockIdx)
+	if cap(dst) >= len(src)+16 && &dst[:len(src)+1][len(src)] == &meta[0] {
+		// Layout-aware fast path, taken only when the byte after the
+		// ciphertext destination IS the block's own metadata slot (the
+		// LayoutUnaligned wire arrangement — spare capacity alone is not
+		// authorization to scribble past len(dst)). GCM then seals
+		// ciphertext||tag in place — zero copies, zero allocations. The
+		// tag lands on meta[0:16]; relocate it to its meta[12:28] home
+		// and restore the nonce (copy handles the overlap).
+		out := g.aead.Seal(dst[:0], s.nonce[:], src, s.aad[:])
+		copy(meta[12:28], out[len(src):])
+		copy(meta[:12], s.nonce[:])
+		return nil
+	}
+	// Separate metadata region: seal into pooled scratch, copy out.
+	buf := s.buf(len(src) + 16)
+	out := g.aead.Seal(buf[:0], s.nonce[:], src, s.aad[:])
 	copy(dst, out[:len(src)])
 	copy(meta[12:], out[len(src):])
 	return nil
@@ -185,10 +218,14 @@ func (g *gcmAuth) open(dst, src []byte, blockIdx uint64, meta []byte) error {
 	if len(meta) != 28 {
 		return fmt.Errorf("core: gcm needs 28 metadata bytes, got %d", len(meta))
 	}
-	ct := make([]byte, 0, len(src)+16)
-	ct = append(ct, src...)
-	ct = append(ct, meta[12:28]...)
-	out, err := g.aead.Open(dst[:0], meta[:12], ct, gcmAAD(blockIdx))
+	s := gcmScratchPool.Get().(*gcmScratch)
+	defer gcmScratchPool.Put(s)
+	copy(s.nonce[:], meta[:12])
+	binary.LittleEndian.PutUint64(s.aad[:], blockIdx)
+	ct := s.buf(len(src) + 16)
+	n := copy(ct, src)
+	copy(ct[n:], meta[12:28])
+	out, err := g.aead.Open(dst[:0], s.nonce[:], ct, s.aad[:])
 	if err != nil {
 		return fmt.Errorf("%w: block %d", ErrIntegrity, blockIdx)
 	}

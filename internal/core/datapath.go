@@ -1,0 +1,223 @@
+package core
+
+// datapath.go is the parallel, pooled seal/open pipeline behind
+// EncryptedImage.WriteAt and ReadAtSnap. The per-4-KiB-block cipher work
+// is the hottest CPU path in the repo (the paper's client-side cost), so
+// it gets three optimizations here:
+//
+//  1. a shared worker pool, sized to runtime.GOMAXPROCS, that fans
+//     seal/open across blocks within and across extents;
+//  2. sync.Pool-backed scratch buffers for every wire, metadata and
+//     cipher-scratch allocation, so the steady state performs no
+//     per-block heap allocations;
+//  3. chunked dispatch (contiguous block ranges, one chunk per worker)
+//     so cross-goroutine coordination cost is per-IO, not per-block.
+//
+// The pool is package-global and lazily started: images share workers,
+// and per-image parallelism is bounded by Options.ClientCores.
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/rbd"
+)
+
+// maxParallelism is the datapath's default worker count: one cipher
+// worker per scheduler core.
+func maxParallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ---- scratch buffer pool ----
+
+// Buffers are served from size-classed sync.Pools (power-of-two capacity
+// classes from 4 KiB up). Requests above the largest class fall back to
+// plain allocation. It is safe — and required for the zero-alloc steady
+// state — that callers return buffers with putBuf when the wire bytes
+// have been marshaled (rados.Request.Marshal copies payloads before the
+// transport sees them, so release-after-Operate is sound).
+
+const (
+	minBufShift   = 12 // 4 KiB: one encryption block
+	numBufClasses = 13 // ... up to 16 MiB: largest extent + metadata
+)
+
+var bufClasses [numBufClasses]sync.Pool
+
+// bufClass returns the smallest class whose capacity holds n bytes, or
+// -1 when n is too large to pool.
+func bufClass(n int) int {
+	c := 0
+	for n > 1<<(minBufShift+c) {
+		c++
+		if c >= numBufClasses {
+			return -1
+		}
+	}
+	return c
+}
+
+// getBuf returns a length-n byte slice with unspecified contents.
+func getBuf(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	c := bufClass(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if v := bufClasses[c].Get(); v != nil {
+		return (*v.(*[]byte))[:n]
+	}
+	return make([]byte, n, 1<<(minBufShift+c))
+}
+
+// getZeroBuf returns a length-n zeroed byte slice.
+func getZeroBuf(n int) []byte {
+	b := getBuf(n)
+	clear(b)
+	return b
+}
+
+// putBuf recycles a buffer obtained from getBuf. The caller must not
+// retain any view into b afterwards.
+func putBuf(b []byte) {
+	if cap(b) < 1<<minBufShift {
+		return
+	}
+	c := bufClass(cap(b))
+	if c < 0 || 1<<(minBufShift+c) != cap(b) {
+		return // odd capacity (not pool-born); drop it
+	}
+	b = b[:cap(b)]
+	bufClasses[c].Put(&b)
+}
+
+// ---- worker pool ----
+
+type blockJob struct {
+	lo, hi int64
+	run    func(lo, hi int64) error
+	wg     *sync.WaitGroup
+	res    *jobErr
+}
+
+// jobErr collects the first error across a job's chunks.
+type jobErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (j *jobErr) set(err error) {
+	if err == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = err
+	}
+	j.mu.Unlock()
+}
+
+var (
+	dpOnce sync.Once
+	dpJobs chan blockJob
+)
+
+// dpStart launches the shared datapath workers, one per scheduler core.
+func dpStart() {
+	n := maxParallelism()
+	dpJobs = make(chan blockJob, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for job := range dpJobs {
+				job.res.set(job.run(job.lo, job.hi))
+				job.wg.Done()
+			}
+		}()
+	}
+}
+
+// forBlocks runs fn over the block range [0, n), split into at most
+// `workers` contiguous chunks executed on the shared pool. The calling
+// goroutine always processes the final chunk itself, so a single-worker
+// (or single-block) call never leaves the caller's goroutine, and a full
+// job queue degrades to inline execution instead of blocking.
+func forBlocks(workers int, n int64, fn func(lo, hi int64) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if int64(workers) > n {
+		workers = int(n)
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	dpOnce.Do(dpStart)
+	var (
+		wg  sync.WaitGroup
+		res jobErr
+	)
+	chunk := (n + int64(workers) - 1) / int64(workers)
+	var lo int64
+	for lo = 0; lo+chunk < n; lo += chunk {
+		job := blockJob{lo: lo, hi: lo + chunk, run: fn, wg: &wg, res: &res}
+		wg.Add(1)
+		select {
+		case dpJobs <- job:
+		default:
+			res.set(fn(job.lo, job.hi))
+			wg.Done()
+		}
+	}
+	res.set(fn(lo, n))
+	wg.Wait()
+	res.mu.Lock()
+	defer res.mu.Unlock()
+	return res.err
+}
+
+// forExtentBlocks fans fn across every block of every extent: the flat
+// block index space of the whole IO is chunked over the pool, so small
+// extents do not serialize behind each other (parallelism within AND
+// across extents). fn receives the extent's position in exts and the
+// block index local to that extent.
+func forExtentBlocks(workers int, exts []rbd.Extent, blockSize int64, fn func(ei int, b int64) error) error {
+	if len(exts) == 1 {
+		nb := exts[0].Length / blockSize
+		return forBlocks(workers, nb, func(lo, hi int64) error {
+			for b := lo; b < hi; b++ {
+				if err := fn(0, b); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	// starts[i] is the flat index of exts[i]'s first block.
+	starts := make([]int64, len(exts)+1)
+	for i, ext := range exts {
+		starts[i+1] = starts[i] + ext.Length/blockSize
+	}
+	total := starts[len(exts)]
+	return forBlocks(workers, total, func(lo, hi int64) error {
+		ei := 0
+		for starts[ei+1] <= lo {
+			ei++
+		}
+		for g := lo; g < hi; g++ {
+			for starts[ei+1] <= g {
+				ei++
+			}
+			if err := fn(ei, g-starts[ei]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -75,117 +75,257 @@ type planner struct {
 }
 
 // writeOps builds the atomic op vector persisting cipher (nb blocks) and
-// metas (nb*metaLen bytes) for blocks [startBlock, startBlock+nb).
+// metas (nb*metaLen bytes) for blocks [startBlock, startBlock+nb). It is
+// the copying convenience used by tests and tools; the IO hot path seals
+// directly into a writePlan's wire buffers instead.
 func (p *planner) writeOps(startBlock int64, cipher, metas []byte) []rados.Op {
 	nb := int64(len(cipher)) / p.blockSize
+	w := p.newWritePlan(startBlock, nb)
+	for b := int64(0); b < nb; b++ {
+		copy(w.cipherDst(b), cipher[b*p.blockSize:(b+1)*p.blockSize])
+		if p.metaLen > 0 {
+			copy(w.metaDst(b), metas[b*p.metaLen:(b+1)*p.metaLen])
+		}
+	}
+	// Deliberately never released: the caller owns the op buffers.
+	return w.ops()
+}
+
+// writePlan stages one extent's wire buffers so the cryptor seals
+// ciphertext and metadata directly where the RADOS ops will carry them —
+// the layout-aware encryption target that removes the encrypt-then-copy
+// stride shuffle from the write path. Buffers come from the datapath
+// scratch pool; callers release() the plan once the transaction has been
+// issued (Operate marshals payloads before returning, so the bytes are
+// no longer referenced).
+type writePlan struct {
+	p     *planner
+	start int64 // object-relative first block
+	nb    int64
+	wire  []byte // data region; stride-interleaved under LayoutUnaligned
+	meta  []byte // separate metadata region (object-end, OMAP); nil otherwise
+}
+
+// newWritePlan allocates pooled wire buffers for nb blocks at startBlock.
+func (p *planner) newWritePlan(startBlock, nb int64) *writePlan {
+	w := &writePlan{p: p, start: startBlock, nb: nb}
+	switch p.layout {
+	case LayoutUnaligned:
+		w.wire = getBuf(int(nb * (p.blockSize + p.metaLen)))
+	default:
+		w.wire = getBuf(int(nb * p.blockSize))
+		if p.metaLen > 0 {
+			w.meta = getBuf(int(nb * p.metaLen))
+		}
+	}
+	return w
+}
+
+// cipherDst returns block b's ciphertext destination inside the wire
+// buffer. Under LayoutUnaligned the slice's capacity extends over the
+// block's own metadata slot so an AEAD seal can append its tag in place
+// (the cryptor relocates tag bytes within the slot afterwards).
+func (w *writePlan) cipherDst(b int64) []byte {
+	bs := w.p.blockSize
+	if w.p.layout == LayoutUnaligned {
+		stride := bs + w.p.metaLen
+		return w.wire[b*stride : b*stride+bs : (b+1)*stride]
+	}
+	return w.wire[b*bs : (b+1)*bs : (b+1)*bs]
+}
+
+// metaDst returns block b's metadata destination (nil for metadata-free
+// layouts).
+func (w *writePlan) metaDst(b int64) []byte {
+	ml := w.p.metaLen
+	if ml == 0 {
+		return nil
+	}
+	if w.p.layout == LayoutUnaligned {
+		off := b*(w.p.blockSize+ml) + w.p.blockSize
+		return w.wire[off : off+ml]
+	}
+	return w.meta[b*ml : (b+1)*ml]
+}
+
+// ops builds the atomic op vector over the staged buffers, zero-copy.
+func (w *writePlan) ops() []rados.Op {
+	p := w.p
 	switch p.layout {
 	case LayoutNone:
-		return []rados.Op{{Kind: rados.OpWrite, Off: startBlock * p.blockSize, Data: cipher}}
+		return []rados.Op{{Kind: rados.OpWrite, Off: w.start * p.blockSize, Data: w.wire}}
 
 	case LayoutUnaligned:
 		stride := p.blockSize + p.metaLen
-		buf := make([]byte, nb*stride)
-		for b := int64(0); b < nb; b++ {
-			copy(buf[b*stride:], cipher[b*p.blockSize:(b+1)*p.blockSize])
-			copy(buf[b*stride+p.blockSize:], metas[b*p.metaLen:(b+1)*p.metaLen])
-		}
-		return []rados.Op{{Kind: rados.OpWrite, Off: startBlock * stride, Data: buf}}
+		return []rados.Op{{Kind: rados.OpWrite, Off: w.start * stride, Data: w.wire}}
 
 	case LayoutObjectEnd:
 		return []rados.Op{
-			{Kind: rados.OpWrite, Off: startBlock * p.blockSize, Data: cipher},
-			{Kind: rados.OpWrite, Off: p.objectSize + startBlock*p.metaLen, Data: metas},
+			{Kind: rados.OpWrite, Off: w.start * p.blockSize, Data: w.wire},
+			{Kind: rados.OpWrite, Off: p.objectSize + w.start*p.metaLen, Data: w.meta},
 		}
 
 	case LayoutOMAP:
-		pairs := make([]rados.Pair, nb)
-		for b := int64(0); b < nb; b++ {
+		pairs := make([]rados.Pair, w.nb)
+		for b := int64(0); b < w.nb; b++ {
 			pairs[b] = rados.Pair{
-				Key:   omapIVKey(startBlock + b),
-				Value: metas[b*p.metaLen : (b+1)*p.metaLen],
+				Key:   omapIVKey(w.start + b),
+				Value: w.meta[b*p.metaLen : (b+1)*p.metaLen],
 			}
 		}
 		return []rados.Op{
-			{Kind: rados.OpWrite, Off: startBlock * p.blockSize, Data: cipher},
+			{Kind: rados.OpWrite, Off: w.start * p.blockSize, Data: w.wire},
 			{Kind: rados.OpOmapSet, Pairs: pairs},
 		}
 	}
 	panic("core: unknown layout")
 }
 
+// release returns the plan's buffers to the scratch pool. Must not be
+// called before every Operate using the plan's ops has returned.
+func (w *writePlan) release() {
+	putBuf(w.wire)
+	if w.meta != nil {
+		putBuf(w.meta)
+	}
+	w.wire, w.meta = nil, nil
+}
+
 // readOps builds the op vector fetching blocks [startBlock, startBlock+nb)
-// with their metadata.
+// with their metadata. The final op is always an OpStat: the object's
+// logical size is the presence signal that distinguishes never-written
+// (sparse) block runs from legitimately written ones, replacing the old
+// all-zero-ciphertext sniffing that misread Decrypt(0) blocks as holes.
 func (p *planner) readOps(startBlock, nb int64) []rados.Op {
+	stat := rados.Op{Kind: rados.OpStat}
 	switch p.layout {
 	case LayoutNone:
-		return []rados.Op{{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize}}
+		return []rados.Op{{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize}, stat}
 
 	case LayoutUnaligned:
 		stride := p.blockSize + p.metaLen
-		return []rados.Op{{Kind: rados.OpRead, Off: startBlock * stride, Len: nb * stride}}
+		return []rados.Op{{Kind: rados.OpRead, Off: startBlock * stride, Len: nb * stride}, stat}
 
 	case LayoutObjectEnd:
 		return []rados.Op{
 			{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize},
 			{Kind: rados.OpRead, Off: p.objectSize + startBlock*p.metaLen, Len: nb * p.metaLen},
+			stat,
 		}
 
 	case LayoutOMAP:
 		return []rados.Op{
 			{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize},
 			{Kind: rados.OpOmapGetRange, Key: omapIVKey(startBlock), Key2: omapIVKey(startBlock + nb)},
+			stat,
 		}
 	}
 	panic("core: unknown layout")
 }
 
-// parseRead extracts ciphertext and metadata from read results. A missing
-// object (hole) yields all-zero cipher and metadata, which the decryption
-// path maps back to zero plaintext (sparse semantics).
-func (p *planner) parseRead(startBlock, nb int64, res []rados.Result) (cipher, metas []byte, err error) {
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// parseRead extracts ciphertext and metadata from read results and
+// reports, per block, whether the block was ever written. It is the
+// allocating convenience wrapper around parseReadInto.
+func (p *planner) parseRead(startBlock, nb int64, res []rados.Result) (cipher, metas []byte, present []bool, err error) {
 	cipher = make([]byte, nb*p.blockSize)
 	metas = make([]byte, nb*p.metaLen)
+	pb := make([]byte, nb)
+	if err := p.parseReadInto(startBlock, nb, res, cipher, metas, pb); err != nil {
+		return nil, nil, nil, err
+	}
+	present = make([]bool, nb)
+	for i, v := range pb {
+		present[i] = v != 0
+	}
+	return cipher, metas, present, nil
+}
+
+// parseReadInto fills caller-provided (typically pooled) buffers with the
+// ciphertext and metadata of blocks [startBlock, startBlock+nb) and marks
+// each block's presence. Presence is derived from the read results, never
+// from the data content:
+//
+//   - object StatusNotFound       → every block absent (sparse read);
+//   - the OpStat logical size     → a block whose stored footprint lies
+//     fully beyond the object's logical size was never written;
+//   - LayoutOMAP                  → a block is present iff its IV key
+//     exists in the object database (exact per-block presence);
+//   - metadata-bearing layouts    → an all-zero metadata slot inside the
+//     logical size marks an interior hole (a real write leaves a random
+//     IV there; the odds of a legitimate all-zero IV are ~2^-128).
+//
+// Data content is deliberately never sniffed: a written block whose
+// ciphertext happens to be all zeros (plaintext Decrypt(0)) is present
+// and decrypts normally. Under metadata-free schemes an interior
+// never-written block below the logical size reads as whatever the
+// deterministic cipher makes of zeros — the same contract dm-crypt gives
+// for never-written sectors.
+func (p *planner) parseReadInto(startBlock, nb int64, res []rados.Result, cipher, metas, present []byte) error {
+	clear(cipher[:nb*p.blockSize])
+	clear(metas[:nb*p.metaLen])
+	clear(present[:nb])
 
 	if res[0].Status == rados.StatusNotFound {
-		return cipher, metas, nil
+		return nil
 	}
 	if err := res[0].Status.Err(); err != nil {
-		return nil, nil, err
+		return err
+	}
+	// The object's logical size, from the trailing OpStat.
+	var size int64
+	if st := res[len(res)-1]; st.Status == rados.StatusOK {
+		size = st.Size
 	}
 
 	switch p.layout {
 	case LayoutNone:
 		copy(cipher, res[0].Data)
-		return cipher, metas, nil
+		for b := int64(0); b < nb; b++ {
+			present[b] = boolByte((startBlock+b+1)*p.blockSize <= size)
+		}
+		return nil
 
 	case LayoutUnaligned:
 		stride := p.blockSize + p.metaLen
 		data := res[0].Data
 		for b := int64(0); b < nb; b++ {
 			if (b+1)*stride <= int64(len(data)) {
-				copy(cipher[b*p.blockSize:], data[b*stride:b*stride+p.blockSize])
-				copy(metas[b*p.metaLen:], data[b*stride+p.blockSize:(b+1)*stride])
+				copy(cipher[b*p.blockSize:(b+1)*p.blockSize], data[b*stride:b*stride+p.blockSize])
+				copy(metas[b*p.metaLen:(b+1)*p.metaLen], data[b*stride+p.blockSize:(b+1)*stride])
 			}
+			present[b] = boolByte((startBlock+b+1)*stride <= size &&
+				(p.metaLen == 0 || !allZero(metas[b*p.metaLen:(b+1)*p.metaLen])))
 		}
-		return cipher, metas, nil
+		return nil
 
 	case LayoutObjectEnd:
-		if len(res) != 2 {
-			return nil, nil, fmt.Errorf("core: object-end read returned %d results", len(res))
+		if len(res) != 3 {
+			return fmt.Errorf("core: object-end read returned %d results", len(res))
 		}
 		if err := res[1].Status.Err(); err != nil {
-			return nil, nil, err
+			return err
 		}
 		copy(cipher, res[0].Data)
 		copy(metas, res[1].Data)
-		return cipher, metas, nil
+		for b := int64(0); b < nb; b++ {
+			present[b] = boolByte(p.objectSize+(startBlock+b+1)*p.metaLen <= size &&
+				!allZero(metas[b*p.metaLen:(b+1)*p.metaLen]))
+		}
+		return nil
 
 	case LayoutOMAP:
-		if len(res) != 2 {
-			return nil, nil, fmt.Errorf("core: omap read returned %d results", len(res))
+		if len(res) != 3 {
+			return fmt.Errorf("core: omap read returned %d results", len(res))
 		}
 		if err := res[1].Status.Err(); err != nil {
-			return nil, nil, err
+			return err
 		}
 		copy(cipher, res[0].Data)
 		for _, pair := range res[1].Pairs {
@@ -197,8 +337,9 @@ func (p *planner) parseRead(startBlock, nb int64, res []rados.Result) (cipher, m
 				continue
 			}
 			copy(metas[(block-startBlock)*p.metaLen:], pair.Value)
+			present[block-startBlock] = 1
 		}
-		return cipher, metas, nil
+		return nil
 	}
 	panic("core: unknown layout")
 }
@@ -222,13 +363,12 @@ func SectorCount(l Layout, ioBytes, blockSize, metaLen int64) int64 {
 		return dataSectors + (nb*metaLen+blockSize-1)/blockSize
 	case LayoutUnaligned:
 		// The interleaved stream occupies ceil(nb*(block+meta)/sector)
-		// sectors, generally misaligned by one extra boundary sector.
+		// sectors: §3.3's "a 4KB write needs 2 sectors" / "a 32KB IO
+		// typically requires 9 sectors versus 8". (An IO that starts
+		// mid-object can straddle one more boundary, but the paper's
+		// counts — and this minimum — are for the aligned start.)
 		span := nb * (blockSize + metaLen)
-		sectors := (span + blockSize - 1) / blockSize
-		if span%blockSize != 0 {
-			sectors++ // the run straddles one more boundary on average
-		}
-		return sectors
+		return (span + blockSize - 1) / blockSize
 	}
 	return dataSectors
 }

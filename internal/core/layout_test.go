@@ -10,9 +10,12 @@ import (
 )
 
 // fakeStore executes a planner's ops against a flat in-memory object with
-// an OMAP map — a model of one RADOS object for layout-only testing.
+// an OMAP map — a model of one RADOS object for layout-only testing. It
+// tracks the logical size the way the blobstore does (high-water mark of
+// write ends), which parseRead uses as its presence signal.
 type fakeStore struct {
 	data []byte
+	size int64
 	omap map[string][]byte
 }
 
@@ -26,6 +29,9 @@ func (f *fakeStore) apply(ops []rados.Op) []rados.Result {
 		switch op.Kind {
 		case rados.OpWrite:
 			copy(f.data[op.Off:], op.Data)
+			if end := op.Off + int64(len(op.Data)); end > f.size {
+				f.size = end
+			}
 			out[i] = rados.Result{Status: rados.StatusOK}
 		case rados.OpOmapSet:
 			for _, p := range op.Pairs {
@@ -34,6 +40,8 @@ func (f *fakeStore) apply(ops []rados.Op) []rados.Result {
 			out[i] = rados.Result{Status: rados.StatusOK}
 		case rados.OpRead:
 			out[i] = rados.Result{Status: rados.StatusOK, Data: append([]byte(nil), f.data[op.Off:op.Off+op.Len]...)}
+		case rados.OpStat:
+			out[i] = rados.Result{Status: rados.StatusOK, Size: f.size}
 		case rados.OpOmapGetRange:
 			var pairs []rados.Pair
 			for k, v := range f.omap {
@@ -101,7 +109,7 @@ func TestPlannerRoundTripProperty(t *testing.T) {
 				rn = 256 - rs
 			}
 			res := store.apply(p.readOps(rs, rn))
-			gotCipher, gotMeta, err := p.parseRead(rs, rn, res)
+			gotCipher, gotMeta, present, err := p.parseRead(rs, rn, res)
 			if err != nil {
 				return false
 			}
@@ -109,6 +117,9 @@ func TestPlannerRoundTripProperty(t *testing.T) {
 				w, ok := written[rs+b]
 				if !ok {
 					continue // never written: content unspecified (zeros)
+				}
+				if !present[b] {
+					return false // a written block must read as present
 				}
 				if !bytes.Equal(gotCipher[b*4096:(b+1)*4096], w[0]) {
 					return false
@@ -144,6 +155,34 @@ func TestSectorCountMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSectorCountPaperFigures pins the §3.3 in-text numbers for every
+// layout: "in a 4KB write/read, a minimum of two physical disk sectors
+// need to be accessed (one for the data and one for the IV) versus one in
+// the baseline", and "a 32KB IO typically requires 9 sectors to be
+// accessed versus 8". The unaligned layout used to double-count the
+// stride-boundary sector (3 and 10); these pins guard the fix.
+func TestSectorCountPaperFigures(t *testing.T) {
+	cases := []struct {
+		layout Layout
+		ioKB   int64
+		want   int64
+	}{
+		{LayoutNone, 4, 1},
+		{LayoutNone, 32, 8},
+		{LayoutUnaligned, 4, 2},
+		{LayoutUnaligned, 32, 9},
+		{LayoutObjectEnd, 4, 2},
+		{LayoutObjectEnd, 32, 9},
+		{LayoutOMAP, 4, 1},
+		{LayoutOMAP, 32, 8},
+	}
+	for _, c := range cases {
+		if got := SectorCount(c.layout, c.ioKB<<10, 4096, 16); got != c.want {
+			t.Errorf("SectorCount(%v, %dK) = %d, want %d", c.layout, c.ioKB, got, c.want)
+		}
 	}
 }
 

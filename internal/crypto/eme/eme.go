@@ -24,6 +24,7 @@ import (
 	"crypto/cipher"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // BlockSize is the underlying AES block size.
@@ -94,6 +95,20 @@ func (c *Cipher) Decrypt(dst, src []byte, tweak [TweakSize]byte) error {
 	return c.process(dst, src, tweak, false)
 }
 
+// scratch holds the per-call working state. It lives on the heap (via a
+// sync.Pool) rather than the stack because the buffers are passed into
+// cipher.Block interface methods, which would force them to escape — and
+// allocate — on every call otherwise. Pooling keeps the hot sector path
+// allocation-free in the steady state.
+type scratch struct {
+	inter, mixed [MaxBlocks * BlockSize]byte
+	sp, mp       [BlockSize]byte
+	mc, mv, acc  [BlockSize]byte
+	mask, mmask  [BlockSize]byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
 func (c *Cipher) process(dst, src []byte, tweak [TweakSize]byte, enc bool) error {
 	if err := checkSize(len(src)); err != nil {
 		return err
@@ -107,47 +122,49 @@ func (c *Cipher) process(dst, src []byte, tweak [TweakSize]byte, enc bool) error
 		crypt = c.block.Decrypt
 	}
 
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	inter := s.inter[:m*BlockSize]
+	mixed := s.mixed[:m*BlockSize]
+
 	// Pass 1: whiten with the doubling mask and apply ECB.
-	inter := make([]byte, m*BlockSize)
-	mask := c.l0
+	s.mask = c.l0
 	for i := 0; i < m; i++ {
 		blk := inter[i*BlockSize : (i+1)*BlockSize]
-		xor(blk, src[i*BlockSize:(i+1)*BlockSize], mask[:])
+		xor(blk, src[i*BlockSize:(i+1)*BlockSize], s.mask[:])
 		crypt(blk, blk)
-		mul2(&mask)
+		mul2(&s.mask)
 	}
 
 	// Mix: fold everything plus the tweak into a mask applied to blocks
 	// 2..m; block 1 carries the correction so the transform inverts.
-	var sp [BlockSize]byte
+	clear(s.sp[:])
 	for i := 0; i < m; i++ {
-		xor(sp[:], sp[:], inter[i*BlockSize:(i+1)*BlockSize])
+		xor(s.sp[:], s.sp[:], inter[i*BlockSize:(i+1)*BlockSize])
 	}
-	var mp, mc, mv [BlockSize]byte
-	xor(mp[:], sp[:], tweak[:])
-	crypt(mc[:], mp[:])
-	xor(mv[:], mp[:], mc[:])
+	xor(s.mp[:], s.sp[:], tweak[:])
+	crypt(s.mc[:], s.mp[:])
+	xor(s.mv[:], s.mp[:], s.mc[:])
 
-	mixed := make([]byte, m*BlockSize)
-	mmask := mv
-	var acc [BlockSize]byte
+	s.mmask = s.mv
+	clear(s.acc[:])
 	for i := 1; i < m; i++ {
 		blk := mixed[i*BlockSize : (i+1)*BlockSize]
-		xor(blk, inter[i*BlockSize:(i+1)*BlockSize], mmask[:])
-		xor(acc[:], acc[:], blk)
-		mul2(&mmask)
+		xor(blk, inter[i*BlockSize:(i+1)*BlockSize], s.mmask[:])
+		xor(s.acc[:], s.acc[:], blk)
+		mul2(&s.mmask)
 	}
 	first := mixed[:BlockSize]
-	xor(first, mc[:], tweak[:])
-	xor(first, first, acc[:])
+	xor(first, s.mc[:], tweak[:])
+	xor(first, first, s.acc[:])
 
 	// Pass 2: ECB and unwhiten.
-	mask = c.l0
+	s.mask = c.l0
 	for i := 0; i < m; i++ {
 		blk := mixed[i*BlockSize : (i+1)*BlockSize]
 		crypt(blk, blk)
-		xor(dst[i*BlockSize:(i+1)*BlockSize], blk, mask[:])
-		mul2(&mask)
+		xor(dst[i*BlockSize:(i+1)*BlockSize], blk, s.mask[:])
+		mul2(&s.mask)
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // BlockSize is the cipher block size in bytes.
@@ -96,6 +97,16 @@ func (c *Cipher) Decrypt(dst, src []byte, tweak [TweakSize]byte) error {
 	return c.process(dst, src, tweak, false)
 }
 
+// scratch holds the per-call tweak and block state. It is pooled rather
+// than stack-allocated because the arrays are passed into cipher.Block
+// interface methods, which makes them escape — one heap allocation per
+// sector — and the sector path must be allocation-free in steady state.
+type scratch struct {
+	tw, t, t2, x, tail, pp, cc [BlockSize]byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
 func (c *Cipher) process(dst, src []byte, tweak [TweakSize]byte, enc bool) error {
 	if len(src) < BlockSize {
 		return fmt.Errorf("%w (got %d)", ErrDataSize, len(src))
@@ -103,8 +114,13 @@ func (c *Cipher) process(dst, src []byte, tweak [TweakSize]byte, enc bool) error
 	if len(dst) < len(src) {
 		return errors.New("xts: dst shorter than src")
 	}
-	var t [TweakSize]byte
-	c.k2.Encrypt(t[:], tweak[:])
+	s0 := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s0)
+	t, x := &s0.t, &s0.x
+	// Copy the tweak into the pooled scratch before handing it to the
+	// cipher.Block interface; a param slice would escape (allocate).
+	s0.tw = tweak
+	c.k2.Encrypt(t[:], s0.tw[:])
 
 	full := len(src) / BlockSize
 	rem := len(src) % BlockSize
@@ -115,18 +131,17 @@ func (c *Cipher) process(dst, src []byte, tweak [TweakSize]byte, enc bool) error
 		blocks = full - 1 // the final full block participates in stealing
 	}
 
-	var x [BlockSize]byte
 	for i := 0; i < blocks; i++ {
 		s := src[i*BlockSize : (i+1)*BlockSize]
 		d := dst[i*BlockSize : (i+1)*BlockSize]
-		xorBlock(&x, s, &t)
+		xorBlock(x, s, t)
 		if enc {
 			c.k1.Encrypt(x[:], x[:])
 		} else {
 			c.k1.Decrypt(x[:], x[:])
 		}
-		xorInto(d, &x, &t)
-		mul2(&t)
+		xorInto(d, x, t)
+		mul2(t)
 	}
 
 	if !steal {
@@ -136,43 +151,39 @@ func (c *Cipher) process(dst, src []byte, tweak [TweakSize]byte, enc bool) error
 	// Ciphertext stealing for the trailing partial block (IEEE 1619 §5.3).
 	// The tail is copied up front because dst may alias src.
 	m := blocks // index of the last full block
-	var tail [BlockSize]byte
+	tail, pp, cc, t2 := &s0.tail, &s0.pp, &s0.cc, &s0.t2
+	clear(tail[:])
 	copy(tail[:rem], src[(m+1)*BlockSize:])
-	var t2 [TweakSize]byte
 	if enc {
 		// CC = E(Pm) under tweak m; the stolen head of CC becomes the
 		// final partial ciphertext; the last full block is
 		// E(tail || rest of CC) under tweak m+1.
-		xorBlock(&x, src[m*BlockSize:(m+1)*BlockSize], &t)
+		xorBlock(x, src[m*BlockSize:(m+1)*BlockSize], t)
 		c.k1.Encrypt(x[:], x[:])
-		xorIntoSelf(&x, &t)
-		var cc [BlockSize]byte
+		xorIntoSelf(x, t)
 		copy(cc[:], x[:])
-		var pp [BlockSize]byte
 		copy(pp[:rem], tail[:rem])
 		copy(pp[rem:], cc[rem:])
 		copy(dst[(m+1)*BlockSize:], cc[:rem]) // stolen head
-		t2 = t
-		mul2(&t2)
-		xorBlock(&x, pp[:], &t2)
+		*t2 = *t
+		mul2(t2)
+		xorBlock(x, pp[:], t2)
 		c.k1.Encrypt(x[:], x[:])
-		xorInto(dst[m*BlockSize:(m+1)*BlockSize], &x, &t2)
+		xorInto(dst[m*BlockSize:(m+1)*BlockSize], x, t2)
 	} else {
 		// Mirror image: decrypt the last full block under tweak m+1 first.
-		t2 = t
-		mul2(&t2)
-		xorBlock(&x, src[m*BlockSize:(m+1)*BlockSize], &t2)
+		*t2 = *t
+		mul2(t2)
+		xorBlock(x, src[m*BlockSize:(m+1)*BlockSize], t2)
 		c.k1.Decrypt(x[:], x[:])
-		xorIntoSelf(&x, &t2)
-		var pp [BlockSize]byte
+		xorIntoSelf(x, t2)
 		copy(pp[:], x[:])
-		var cc [BlockSize]byte
 		copy(cc[:rem], tail[:rem])
 		copy(cc[rem:], pp[rem:])
 		copy(dst[(m+1)*BlockSize:], pp[:rem])
-		xorBlock(&x, cc[:], &t)
+		xorBlock(x, cc[:], t)
 		c.k1.Decrypt(x[:], x[:])
-		xorInto(dst[m*BlockSize:(m+1)*BlockSize], &x, &t)
+		xorInto(dst[m*BlockSize:(m+1)*BlockSize], x, t)
 	}
 	return nil
 }

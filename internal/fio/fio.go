@@ -126,6 +126,18 @@ func (r Result) MBps() float64 {
 	return float64(r.Bytes) / d.Seconds() / 1e6
 }
 
+// WallMBps returns real-CPU bandwidth in MB/s: bytes moved over the
+// wall-clock time the run took on the host. The virtual-time figures
+// reproduce the paper's y-axes; this one measures the client datapath
+// itself (seal/open pipeline, layout staging, engine overhead), so
+// speedups from the parallel pipeline show up here.
+func (r Result) WallMBps() float64 {
+	if r.WallTime <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.WallTime.Seconds() / 1e6
+}
+
 // IOPS returns virtual-time operations per second.
 func (r Result) IOPS() float64 {
 	d := r.End.Sub(r.Start)
@@ -307,8 +319,9 @@ func Precondition(target Target, span, blockSize int64, start vtime.Time) (vtime
 	}
 	buf := make([]byte, step)
 	for i := range buf {
-		// Never zero: all-zero blocks read back as holes under the
-		// encryption layer's sparse-read convention.
+		// Non-zero fill: hole detection no longer sniffs content (it uses
+		// object existence and logical size), but distinctive payloads
+		// keep encryption-layer round-trip failures visible.
 		buf[i] = byte(i*131) | 1
 	}
 	// Parallel preconditioning with a fixed worker pool.

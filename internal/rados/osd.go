@@ -369,6 +369,12 @@ func (o *OSD) resolveReadSource(at vtime.Time, st *blobstore.Store, fullName str
 	if err != nil {
 		return "", false, at, err
 	}
+	// An object first created while the newest snapshot was createdSeq
+	// came into being *after* every snapshot with id <= createdSeq, so
+	// those snapshots must not see it — through the head or any clone.
+	if si.createdSeq >= snapID {
+		return "", false, at, nil
+	}
 	// The earliest clone whose id >= snapID holds the state frozen at the
 	// first write after that snapshot.
 	for _, c := range si.clones {
@@ -376,9 +382,8 @@ func (o *OSD) resolveReadSource(at vtime.Time, st *blobstore.Store, fullName str
 			return cloneName(fullName, c), true, at, nil
 		}
 	}
-	// No clone: the head still holds the state — unless the object was
-	// created after the snapshot.
-	if !st.Exists(fullName) || si.createdSeq > snapID {
+	// No clone: the head still holds the state.
+	if !st.Exists(fullName) {
 		return "", false, at, nil
 	}
 	return fullName, true, at, nil
