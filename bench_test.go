@@ -294,7 +294,7 @@ func BenchmarkSequentialVsRandom(b *testing.B) {
 }
 
 // BenchmarkTheoreticalSectorCounts exercises the §3.3 analytic model (it
-// is pure computation; the numbers are what matter — see EXPERIMENTS.md).
+// is pure computation; the numbers are what matter — see README.md).
 func BenchmarkTheoreticalSectorCounts(b *testing.B) {
 	var sink int64
 	for i := 0; i < b.N; i++ {

@@ -1,6 +1,7 @@
 // Command benchfig regenerates the paper's figures and tables on the
-// simulated cluster. Each run prints paper-style tables; see
-// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+// simulated cluster. Each run prints paper-style tables; README.md
+// records the paper-vs-measured comparison and DESIGN.md maps the
+// system underneath.
 //
 // Usage:
 //

@@ -13,12 +13,15 @@ package core
 
 import (
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/luks"
+	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/vtime"
 )
@@ -101,14 +104,34 @@ type format struct {
 }
 
 // EncryptedImage is an encrypted view of an rbd image. All methods are
-// safe for concurrent use.
+// safe for concurrent use from one handle; like RBD with the exclusive
+// lock, an image must not be written through two handles at once (the
+// allocation-sidecar cache assumes a single writer).
 type EncryptedImage struct {
 	img     *rbd.Image
 	opts    Options
-	cryptor cryptor
+	proto   cryptor // scheme-static metaLen/randLen probe (zero key)
+	ring    *keyring
 	plan    planner
 	cpu     *vtime.MultiResource
 	workers int // datapath parallelism (ClientCores)
+
+	// Key lifecycle: the unlocked container and master key stay resident
+	// (as in any open LUKS device) so epochs can be minted and destroyed
+	// without re-prompting for the passphrase. keyMu serializes container
+	// mutations.
+	keyMu     sync.Mutex
+	container *luks.Container
+	masterKey []byte
+
+	// locks hands out per-object RW mutexes: writers share, the rekey
+	// walker / Discard / sidecar read-modify-writes exclude.
+	locks lockTable
+
+	// alloc caches decoded allocation sidecars for metadata-free schemes
+	// (entries are only touched under the object's exclusive lock).
+	allocMu sync.Mutex
+	alloc   map[int64]*objAlloc
 }
 
 // Format initializes encryption on an image: generates a master key,
@@ -173,22 +196,49 @@ func Load(at vtime.Time, img *rbd.Image, passphrase []byte) (*EncryptedImage, vt
 		return nil, at, err
 	}
 	opts := Options{Scheme: scheme, Layout: lay, BlockSize: desc.BlockSize}.withDefaults()
-	c, err := newCryptor(scheme, masterKey)
+	proto, err := newCryptor(scheme, make([]byte, 64))
 	if err != nil {
 		return nil, at, err
 	}
+	// Build one cryptor per live key epoch.
+	ring := newKeyring()
+	for _, ep := range container.EpochIDs() {
+		key, err := container.EpochKey(masterKey, ep)
+		if err != nil {
+			return nil, at, err
+		}
+		c, err := newCryptor(scheme, key)
+		if err != nil {
+			return nil, at, err
+		}
+		ring.install(ep, c)
+	}
+	ring.setCurrent(container.CurrentEpoch())
+	// A container from before the versioned-key table wrote scheme-only
+	// metadata slots; its on-disk geometry has no room for epoch tags.
+	tagged := len(container.Epochs) > 0
+	storedMeta := int64(proto.metaLen())
+	if storedMeta > 0 && tagged {
+		storedMeta += epochLen
+	}
 	e := &EncryptedImage{
-		img:     img,
-		opts:    opts,
-		cryptor: c,
+		img:       img,
+		opts:      opts,
+		proto:     proto,
+		ring:      ring,
+		container: container,
+		masterKey: masterKey,
 		plan: planner{
-			layout:     lay,
-			blockSize:  opts.BlockSize,
-			metaLen:    int64(c.metaLen()),
-			objectSize: img.ObjectSize(),
+			layout:      lay,
+			blockSize:   opts.BlockSize,
+			metaLen:     storedMeta,
+			objectSize:  img.ObjectSize(),
+			trackAlloc:  storedMeta == 0,
+			epochTagged: tagged && storedMeta > 0,
 		},
 		cpu:     vtime.NewMultiResource(img.Name()+"/crypto", opts.ModelCores),
 		workers: opts.ClientCores,
+		alloc:   make(map[int64]*objAlloc),
 	}
 	return e, at, nil
 }
@@ -211,8 +261,20 @@ func (e *EncryptedImage) Image() *rbd.Image { return e.img }
 // Options returns the image's encryption options.
 func (e *EncryptedImage) Options() Options { return e.opts }
 
-// MetaLen returns the stored metadata bytes per encryption block.
-func (e *EncryptedImage) MetaLen() int { return e.cryptor.metaLen() }
+// MetaLen returns the stored metadata bytes per encryption block (the
+// scheme's IV/tag plus the key-epoch tag; 0 for metadata-free schemes).
+func (e *EncryptedImage) MetaLen() int { return int(e.plan.metaLen) }
+
+// schemeMetaLen is the prefix of each stored metadata slot owned by the
+// cipher scheme (the rest is the epoch tag).
+func (e *EncryptedImage) schemeMetaLen() int64 { return int64(e.proto.metaLen()) }
+
+// ObjectCount reports how many striping objects the image spans — the
+// domain the rekey walker iterates.
+func (e *EncryptedImage) ObjectCount() int64 {
+	os := e.img.ObjectSize()
+	return (e.img.Size() + os - 1) / os
+}
 
 // Size returns the usable image size.
 func (e *EncryptedImage) Size() int64 { return e.img.Size() }
@@ -235,8 +297,18 @@ func (e *EncryptedImage) chargeCrypto(at vtime.Time, n int64) vtime.Time {
 	return e.cpu.Use(at, time.Duration(float64(n)*e.opts.ClientCryptoNsPerByte))
 }
 
+// errStaleEpoch reports a write sealed under an epoch that stopped being
+// current before the transaction could be issued (a rekey began
+// mid-write). The write path retries under the new epoch — committing
+// the old tag would let the completing rekey destroy the key for data
+// the walker already swept past.
+var errStaleEpoch = errors.New("core: key epoch advanced mid-write")
+
 // WriteAt encrypts p and writes it (with per-block metadata under the
 // image's layout) at off. The IO must be block-aligned, as with dm-crypt.
+// Blocks are always sealed under the newest key epoch, and the epoch tag
+// travels with the block (metadata tail, or the allocation sidecar for
+// metadata-free schemes).
 //
 // The seal pipeline is zero-copy and parallel: each extent gets a
 // layout-aware writePlan whose wire buffers are the very payloads the
@@ -244,6 +316,18 @@ func (e *EncryptedImage) chargeCrypto(at vtime.Time, n int64) vtime.Time {
 // wire destination, and the per-block work is fanned across the shared
 // datapath worker pool (within and across extents).
 func (e *EncryptedImage) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
+	for attempt := 0; ; attempt++ {
+		end, err := e.writeAtEpoch(at, p, off)
+		if !errors.Is(err, errStaleEpoch) {
+			return end, err
+		}
+		if attempt >= 8 {
+			return at, fmt.Errorf("core: write never settled on a current epoch: %w", err)
+		}
+	}
+}
+
+func (e *EncryptedImage) writeAtEpoch(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
 	if err := e.checkAligned(p, off); err != nil {
 		return at, err
 	}
@@ -255,6 +339,12 @@ func (e *EncryptedImage) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time
 		return at, err
 	}
 	bs := e.opts.BlockSize
+	epoch := e.ring.currentEpoch()
+	sealer, err := e.ring.cryptorFor(epoch)
+	if err != nil {
+		return at, err
+	}
+	sml := e.schemeMetaLen()
 
 	plans := make([]*writePlan, len(exts))
 	for i, ext := range exts {
@@ -268,7 +358,7 @@ func (e *EncryptedImage) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time
 
 	// One entropy draw per IO, scattered into the random prefix of every
 	// block's metadata slot.
-	if rl := e.cryptor.randLen(); rl > 0 {
+	if rl := e.proto.randLen(); rl > 0 {
 		nbTotal := int64(len(p)) / bs
 		rbuf := getBuf(int(nbTotal) * rl)
 		if _, err := rand.Read(rbuf); err != nil {
@@ -289,7 +379,12 @@ func (e *EncryptedImage) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time
 		ext := exts[ei]
 		blockIdx := uint64((off+ext.BufOff)/bs + b)
 		src := p[ext.BufOff+b*bs : ext.BufOff+(b+1)*bs]
-		return e.cryptor.seal(plans[ei].cipherDst(b), src, blockIdx, plans[ei].metaDst(b))
+		meta := plans[ei].metaDst(b)
+		if int64(len(meta)) > sml { // epoch-tagged slot
+			binary.LittleEndian.PutUint32(meta[sml:], epoch)
+			meta = meta[:sml]
+		}
+		return sealer.seal(plans[ei].cipherDst(b), src, blockIdx, meta)
 	})
 	if err != nil {
 		release()
@@ -300,50 +395,54 @@ func (e *EncryptedImage) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time
 
 	// Fan out per-object transactions. Operate marshals payloads before
 	// returning, so the plans can be released once every call is back.
-	type outcome struct {
-		end vtime.Time
-		err error
-	}
-	if len(plans) == 1 {
-		res, end, err := e.img.Operate(at, exts[0].ObjIdx, 0, plans[0].ops())
-		release()
-		if err != nil {
-			return at, err
+	// Writers hold the object lock shared (metadata schemes) so the rekey
+	// walker's read-modify-write cannot interleave, or exclusive
+	// (metadata-free) around the allocation-sidecar update.
+	issue := func(at vtime.Time, i int) (vtime.Time, error) {
+		ext := exts[i]
+		ops := plans[i].ops()
+		lk := e.locks.of(ext.ObjIdx)
+		if !e.plan.trackAlloc {
+			lk.RLock()
+			defer lk.RUnlock()
+		} else {
+			lk.Lock()
+			defer lk.Unlock()
 		}
-		for _, r := range res {
-			if err := r.Status.Err(); err != nil {
+		// Epoch fence, checked only now that the object lock is held: a
+		// seal epoch that went stale before this point could commit
+		// behind the rekey walker's sweep of this object and then be
+		// destroyed with its epoch. Fail the attempt; WriteAt re-seals
+		// under the new epoch.
+		if e.ring.currentEpoch() != epoch {
+			return at, errStaleEpoch
+		}
+		dirtyAlloc := false
+		if e.plan.trackAlloc {
+			a, end, err := e.loadAlloc(at, ext.ObjIdx)
+			if err != nil {
 				return at, err
 			}
-		}
-		return end, nil
-	}
-	ch := make(chan outcome, len(plans))
-	for i := range plans {
-		go func(i int) {
-			res, end, err := e.img.Operate(at, exts[i].ObjIdx, 0, plans[i].ops())
-			if err == nil {
-				for _, r := range res {
-					if serr := r.Status.Err(); serr != nil {
-						err = serr
-						break
-					}
-				}
+			at = end
+			// Mutate the cached sidecar in place (we hold the object
+			// exclusively; nothing reads it concurrently) and invalidate
+			// on failure instead of paying a defensive clone per IO.
+			start := ext.ObjOff / bs
+			for b := int64(0); b < ext.Length/bs; b++ {
+				a.set(start+b, epoch)
 			}
-			ch <- outcome{end: end, err: err}
-		}(i)
-	}
-	end := at
-	var firstErr error
-	for range plans {
-		o := <-ch
-		if o.err != nil && firstErr == nil {
-			firstErr = o.err
+			dirtyAlloc = true
+			ops = append(ops, rados.Op{Kind: rados.OpSetAttr, Key: []byte(allocAttr), Data: a.encode()})
 		}
-		end = vtime.Max(end, o.end)
+		return e.commitObjectTxn(at, ext.ObjIdx, ops, dirtyAlloc)
 	}
+
+	end, err := fanOutExtents(at, len(plans), func(i int) (vtime.Time, error) {
+		return issue(at, i)
+	})
 	release()
-	if firstErr != nil {
-		return at, firstErr
+	if err != nil {
+		return at, err
 	}
 	return end, nil
 }
@@ -363,6 +462,24 @@ func (e *EncryptedImage) ReadAt(at vtime.Time, p []byte, off int64) (vtime.Time,
 // size, OMAP keys — see parseReadInto), never from sniffing content, so
 // a legitimately written all-zero-ciphertext block decrypts normally.
 func (e *EncryptedImage) ReadAtSnap(at vtime.Time, p []byte, off int64, snapID uint64) (vtime.Time, error) {
+	for attempt := 0; ; attempt++ {
+		end, err := e.readAtSnapOnce(at, p, off, snapID)
+		if !errors.Is(err, errEpochRetiredMidRead) || attempt >= 2 {
+			return end, err
+		}
+		// A rekey retired the epoch between this attempt's fetch and its
+		// open phase; refetching sees the re-sealed blocks. Genuinely
+		// crypto-erased blocks (epoch already dead at fetch time) fail
+		// immediately without the refetch.
+	}
+}
+
+// errEpochRetiredMidRead marks an ErrKeyErased hit on a block whose
+// epoch was still live when the read fetched it — the one case where a
+// refetch can succeed (the rekey walker re-sealed the block since).
+var errEpochRetiredMidRead = fmt.Errorf("%w (retired mid-read)", ErrKeyErased)
+
+func (e *EncryptedImage) readAtSnapOnce(at vtime.Time, p []byte, off int64, snapID uint64) (vtime.Time, error) {
 	if err := e.checkAligned(p, off); err != nil {
 		return at, err
 	}
@@ -374,7 +491,9 @@ func (e *EncryptedImage) ReadAtSnap(at vtime.Time, p []byte, off int64, snapID u
 		return at, err
 	}
 	bs := e.opts.BlockSize
-	metaLen := int64(e.cryptor.metaLen())
+	metaLen := e.plan.metaLen
+	sml := e.schemeMetaLen()
+	liveAtFetch := e.ring.epochs()
 
 	// Phase 1: fetch ciphertext+metadata for every extent into pooled
 	// buffers, concurrently across objects.
@@ -382,6 +501,7 @@ func (e *EncryptedImage) ReadAtSnap(at vtime.Time, p []byte, off int64, snapID u
 		cipher  []byte
 		metas   []byte
 		present []byte // 0/1 per block, pooled like the data buffers
+		epochs  []byte // key-epoch tag per block (little-endian uint32)
 	}
 	bufs := make([]extRead, len(exts))
 	release := func() {
@@ -389,6 +509,7 @@ func (e *EncryptedImage) ReadAtSnap(at vtime.Time, p []byte, off int64, snapID u
 			putBuf(bufs[i].cipher)
 			putBuf(bufs[i].metas)
 			putBuf(bufs[i].present)
+			putBuf(bufs[i].epochs)
 		}
 	}
 	fetchOne := func(i int) (vtime.Time, error) {
@@ -402,45 +523,22 @@ func (e *EncryptedImage) ReadAtSnap(at vtime.Time, p []byte, off int64, snapID u
 		bufs[i].cipher = getBuf(int(nb * bs))
 		bufs[i].metas = getBuf(int(nb * metaLen))
 		bufs[i].present = getBuf(int(nb))
-		if err := e.plan.parseReadInto(startBlock, nb, res, bufs[i].cipher, bufs[i].metas, bufs[i].present); err != nil {
+		bufs[i].epochs = getBuf(int(nb * epochLen))
+		if err := e.plan.parseReadInto(startBlock, nb, res, bufs[i].cipher, bufs[i].metas, bufs[i].present, bufs[i].epochs); err != nil {
 			return at, err
 		}
 		return end, nil
 	}
 
-	end := at
-	if len(exts) == 1 {
-		if end, err = fetchOne(0); err != nil {
-			release()
-			return at, err
-		}
-	} else {
-		type outcome struct {
-			end vtime.Time
-			err error
-		}
-		ch := make(chan outcome, len(exts))
-		for i := range exts {
-			go func(i int) {
-				e, err := fetchOne(i)
-				ch <- outcome{end: e, err: err}
-			}(i)
-		}
-		var firstErr error
-		for range exts {
-			o := <-ch
-			if o.err != nil && firstErr == nil {
-				firstErr = o.err
-			}
-			end = vtime.Max(end, o.end)
-		}
-		if firstErr != nil {
-			release()
-			return at, firstErr
-		}
+	end, err := fanOutExtents(at, len(exts), fetchOne)
+	if err != nil {
+		release()
+		return at, err
 	}
 
-	// Phase 2: open every block in parallel, straight into p.
+	// Phase 2: open every block in parallel, straight into p, each under
+	// the key epoch its tag names (a destroyed epoch fails the read —
+	// that block has been crypto-erased).
 	err = forExtentBlocks(e.workers, exts, bs, func(ei int, b int64) error {
 		ext := exts[ei]
 		dst := p[ext.BufOff+b*bs : ext.BufOff+(b+1)*bs]
@@ -449,16 +547,434 @@ func (e *EncryptedImage) ReadAtSnap(at vtime.Time, p []byte, off int64, snapID u
 			clear(dst)
 			return nil
 		}
+		epoch := binary.LittleEndian.Uint32(bufs[ei].epochs[b*epochLen:])
+		opener, err := e.ring.cryptorFor(epoch)
+		if err != nil {
+			for _, ep := range liveAtFetch {
+				if ep == epoch {
+					return fmt.Errorf("core: epoch %d: %w", epoch, errEpochRetiredMidRead)
+				}
+			}
+			return err
+		}
 		blockIdx := uint64((off+ext.BufOff)/bs + b)
 		src := bufs[ei].cipher[b*bs : (b+1)*bs]
-		meta := bufs[ei].metas[b*metaLen : (b+1)*metaLen]
-		return e.cryptor.open(dst, src, blockIdx, meta)
+		meta := bufs[ei].metas[b*metaLen : b*metaLen+sml]
+		return opener.open(dst, src, blockIdx, meta)
 	})
 	release()
 	if err != nil {
 		return at, err
 	}
 	return e.chargeCrypto(end, int64(len(p))), nil
+}
+
+// ---- allocation sidecar cache (metadata-free schemes) ----
+
+// loadAlloc returns the object's decoded sidecar, fetching it from the
+// OSD on first touch. An object that exists without a sidecar was
+// written by a pre-sidecar build: its presence is seeded from the
+// logical size (the same fallback the read path uses) under the
+// implicit epoch 0, so the first tracked write cannot mask pre-existing
+// data as holes and Discard punches it for real. The caller must hold
+// the object's exclusive lock.
+func (e *EncryptedImage) loadAlloc(at vtime.Time, objIdx int64) (*objAlloc, vtime.Time, error) {
+	e.allocMu.Lock()
+	a, ok := e.alloc[objIdx]
+	e.allocMu.Unlock()
+	if ok {
+		return a, at, nil
+	}
+	res, end, err := e.img.Operate(at, objIdx, 0, []rados.Op{
+		{Kind: rados.OpGetAttr, Key: []byte(allocAttr)},
+		{Kind: rados.OpStat},
+	})
+	if err != nil {
+		return nil, at, err
+	}
+	nb := e.plan.objBlocks()
+	if res[0].Status == rados.StatusOK {
+		if a, err = decodeObjAlloc(res[0].Data, nb); err != nil {
+			return nil, at, err
+		}
+	} else {
+		a = newObjAlloc(nb)
+		if res[1].Status == rados.StatusOK {
+			bs := e.opts.BlockSize
+			for b := int64(0); b < nb && (b+1)*bs <= res[1].Size; b++ {
+				a.set(b, 0)
+			}
+		}
+	}
+	e.storeAlloc(objIdx, a)
+	return a, end, nil
+}
+
+func (e *EncryptedImage) storeAlloc(objIdx int64, a *objAlloc) {
+	e.allocMu.Lock()
+	e.alloc[objIdx] = a
+	e.allocMu.Unlock()
+}
+
+// invalidateAlloc drops a cached sidecar whose in-place mutation was not
+// committed (failed transaction); the next touch refetches from the OSD.
+func (e *EncryptedImage) invalidateAlloc(objIdx int64) {
+	e.allocMu.Lock()
+	delete(e.alloc, objIdx)
+	e.allocMu.Unlock()
+}
+
+// commitObjectTxn issues one object transaction and surfaces per-op
+// failures. When the transaction carried an in-place sidecar mutation
+// (dirtyAlloc), any failure invalidates the cached sidecar so the next
+// touch refetches the committed state. On failure the caller's arrival
+// time is returned unchanged.
+func (e *EncryptedImage) commitObjectTxn(at vtime.Time, objIdx int64, ops []rados.Op, dirtyAlloc bool) (vtime.Time, error) {
+	fail := func(err error) (vtime.Time, error) {
+		if dirtyAlloc {
+			e.invalidateAlloc(objIdx)
+		}
+		return at, err
+	}
+	res, end, err := e.img.Operate(at, objIdx, 0, ops)
+	if err != nil {
+		return fail(err)
+	}
+	for _, r := range res {
+		if err := r.Status.Err(); err != nil {
+			return fail(err)
+		}
+	}
+	return end, nil
+}
+
+// ---- key lifecycle ----
+
+// persistContainer rewrites the image's encryption descriptor with the
+// current container state. Callers hold keyMu.
+func (e *EncryptedImage) persistContainer(at vtime.Time) (vtime.Time, error) {
+	luksBlob, err := e.container.Marshal()
+	if err != nil {
+		return at, err
+	}
+	desc, err := json.Marshal(format{
+		Scheme:    e.opts.Scheme.String(),
+		Layout:    e.opts.Layout.String(),
+		BlockSize: e.opts.BlockSize,
+		LUKS:      luksBlob,
+	})
+	if err != nil {
+		return at, err
+	}
+	return e.img.SetEncryptionBlob(at, desc)
+}
+
+// CurrentEpoch returns the key epoch new writes seal under.
+func (e *EncryptedImage) CurrentEpoch() uint32 { return e.ring.currentEpoch() }
+
+// Epochs lists the live (unlockable) key epochs.
+func (e *EncryptedImage) Epochs() []uint32 { return e.ring.epochs() }
+
+// BeginEpoch mints the next key epoch and makes it current: the
+// container gains a fresh wrapped data key, the descriptor is persisted
+// (so a crashed client reloads both epochs), and from the moment this
+// returns every new write seals under the new epoch. Existing blocks
+// keep their old epoch until the rekey walker re-seals them.
+func (e *EncryptedImage) BeginEpoch(at vtime.Time) (uint32, vtime.Time, error) {
+	if e.schemeMetaLen() > 0 && !e.plan.epochTagged {
+		return 0, at, errors.New("core: image predates the key-epoch table; its metadata slots cannot carry epoch tags (reformat to re-key)")
+	}
+	e.keyMu.Lock()
+	defer e.keyMu.Unlock()
+	prev := e.container.CurrentEpoch()
+	epoch, err := e.container.AddEpoch(e.masterKey)
+	if err != nil {
+		return 0, at, err
+	}
+	// Any failure below retracts the in-memory mint, so the container
+	// never desyncs from the keyring (an orphan live epoch would escape
+	// every future rekey's DropEpoch).
+	retract := func(err error) (uint32, vtime.Time, error) {
+		if rerr := e.container.RetractEpoch(epoch, prev); rerr != nil {
+			return 0, at, errors.Join(err, rerr)
+		}
+		return 0, at, err
+	}
+	key, err := e.container.EpochKey(e.masterKey, epoch)
+	if err != nil {
+		return retract(err)
+	}
+	c, err := newCryptor(e.opts.Scheme, key)
+	if err != nil {
+		return retract(err)
+	}
+	end, err := e.persistContainer(at)
+	if err != nil {
+		return retract(err)
+	}
+	e.ring.install(epoch, c)
+	e.ring.setCurrent(epoch)
+	return epoch, end, nil
+}
+
+// DropEpoch destroys a retired epoch's key material — the crypto-erase
+// endpoint of a completed rekey. Any block (head or snapshot) still
+// sealed under the epoch becomes permanently unreadable (ErrKeyErased).
+func (e *EncryptedImage) DropEpoch(at vtime.Time, epoch uint32) (vtime.Time, error) {
+	e.keyMu.Lock()
+	defer e.keyMu.Unlock()
+	entry, err := e.container.RemoveEpoch(epoch)
+	if err != nil {
+		return at, err
+	}
+	end, err := e.persistContainer(at)
+	if err != nil {
+		// Reinstate: the erase never became durable, and reporting it
+		// destroyed while the wrapped key survives on disk would void
+		// the crypto-erase guarantee on retry (Step tolerates
+		// ErrEpochUnknown for the genuine already-destroyed case).
+		e.container.ReinstateEpoch(entry)
+		return at, err
+	}
+	clear(entry.Wrapped)
+	e.ring.drop(epoch)
+	return end, nil
+}
+
+// RekeyObject re-seals every present block of one striping object that
+// is not yet at the current epoch — the walker primitive behind
+// internal/keymgr. It holds the object's exclusive lock across its
+// read-modify-write, so live writes (which always seal under the newest
+// epoch and hold the lock shared) either land before the walker reads —
+// and are skipped as already-current — or after it commits. All
+// re-sealed blocks and their metadata move in one atomic transaction.
+// It returns the number of blocks rewritten.
+func (e *EncryptedImage) RekeyObject(at vtime.Time, objIdx int64) (int, vtime.Time, error) {
+	bs := e.opts.BlockSize
+	nb := e.plan.objBlocks()
+	metaLen := e.plan.metaLen
+	sml := e.schemeMetaLen()
+	target := e.ring.currentEpoch()
+	sealer, err := e.ring.cryptorFor(target)
+	if err != nil {
+		return 0, at, err
+	}
+
+	lk := e.locks.of(objIdx)
+	lk.Lock()
+	defer lk.Unlock()
+	if cur := e.ring.currentEpoch(); cur != target {
+		return 0, at, fmt.Errorf("core: epoch advanced to %d during rekey toward %d", cur, target)
+	}
+
+	res, end, err := e.img.Operate(at, objIdx, 0, e.plan.readOps(0, nb))
+	if err != nil {
+		return 0, at, err
+	}
+	cipher := getBuf(int(nb * bs))
+	metas := getBuf(int(nb * metaLen))
+	present := getBuf(int(nb))
+	epochs := getBuf(int(nb * epochLen))
+	release := func() {
+		putBuf(cipher)
+		putBuf(metas)
+		putBuf(present)
+		putBuf(epochs)
+	}
+	if err := e.plan.parseReadInto(0, nb, res, cipher, metas, present, epochs); err != nil {
+		release()
+		return 0, at, err
+	}
+
+	// Collect the stale blocks.
+	var stale []int64
+	for b := int64(0); b < nb; b++ {
+		if present[b] != 0 && binary.LittleEndian.Uint32(epochs[b*epochLen:]) != target {
+			stale = append(stale, b)
+		}
+	}
+	if len(stale) == 0 {
+		release()
+		return 0, end, nil
+	}
+
+	// Build write plans over the contiguous stale runs, plus a map from
+	// stale index to (plan, block-within-plan).
+	type slot struct {
+		plan  *writePlan
+		local int64
+	}
+	slots := make([]slot, len(stale))
+	var plans []*writePlan
+	for i := 0; i < len(stale); {
+		j := i
+		for j+1 < len(stale) && stale[j+1] == stale[j]+1 {
+			j++
+		}
+		w := e.plan.newWritePlan(stale[i], int64(j-i+1))
+		plans = append(plans, w)
+		for k := i; k <= j; k++ {
+			slots[k] = slot{plan: w, local: int64(k - i)}
+		}
+		i = j + 1
+	}
+	releasePlans := func() {
+		for _, w := range plans {
+			w.release()
+		}
+	}
+
+	// Fresh randomness for the new IVs.
+	if rl := e.proto.randLen(); rl > 0 {
+		rbuf := getBuf(len(stale) * rl)
+		if _, err := rand.Read(rbuf); err != nil {
+			release()
+			releasePlans()
+			return 0, at, err
+		}
+		for k := range stale {
+			copy(slots[k].plan.metaDst(slots[k].local)[:rl], rbuf[k*rl:])
+		}
+		putBuf(rbuf)
+	}
+
+	// Open under the old epoch, re-seal under the target, on the shared
+	// datapath pool.
+	plain := getBuf(len(stale) * int(bs))
+	err = forBlocks(e.workers, int64(len(stale)), func(lo, hi int64) error {
+		for k := lo; k < hi; k++ {
+			b := stale[k]
+			oldEpoch := binary.LittleEndian.Uint32(epochs[b*epochLen:])
+			opener, err := e.ring.cryptorFor(oldEpoch)
+			if err != nil {
+				return err
+			}
+			blockIdx := uint64(objIdx*nb + b)
+			dst := plain[k*bs : (k+1)*bs]
+			var oldMeta []byte
+			if metaLen > 0 {
+				oldMeta = metas[b*metaLen : b*metaLen+sml]
+			}
+			if err := opener.open(dst, cipher[b*bs:(b+1)*bs], blockIdx, oldMeta); err != nil {
+				return err
+			}
+			meta := slots[k].plan.metaDst(slots[k].local)
+			if int64(len(meta)) > sml { // epoch-tagged slot
+				binary.LittleEndian.PutUint32(meta[sml:], target)
+				meta = meta[:sml]
+			}
+			if err := sealer.seal(slots[k].plan.cipherDst(slots[k].local), dst, blockIdx, meta); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	putBuf(plain)
+	release()
+	if err != nil {
+		releasePlans()
+		return 0, at, err
+	}
+	end = e.chargeCrypto(end, 2*int64(len(stale))*bs)
+
+	// One atomic transaction: every re-sealed run, plus the sidecar for
+	// metadata-free schemes.
+	var ops []rados.Op
+	for _, w := range plans {
+		ops = append(ops, w.ops()...)
+	}
+	dirtyAlloc := false
+	if e.plan.trackAlloc {
+		a, end2, err := e.loadAlloc(end, objIdx)
+		if err != nil {
+			releasePlans()
+			return 0, at, err
+		}
+		end = end2
+		for _, b := range stale {
+			a.set(b, target)
+		}
+		dirtyAlloc = true
+		ops = append(ops, rados.Op{Kind: rados.OpSetAttr, Key: []byte(allocAttr), Data: a.encode()})
+	}
+	end, err = e.commitObjectTxn(end, objIdx, ops, dirtyAlloc)
+	releasePlans()
+	if err != nil {
+		return 0, at, err
+	}
+	return len(stale), end, nil
+}
+
+// Discard crypto-erases the block-aligned range [off, off+length): the
+// ciphertext region is overwritten with zeros and the per-block metadata
+// punched (or the allocation bits cleared), in one atomic transaction
+// per object. Afterwards the blocks read as holes — exact sparse reads
+// now hold under every scheme, including the metadata-free ones, via the
+// allocation sidecar — and the discarded ciphertext is unrecoverable
+// with any retained key. Snapshot clones taken before the discard keep
+// their (separately erasable, via DropEpoch) copies, as in RADOS.
+func (e *EncryptedImage) Discard(at vtime.Time, off, length int64) (vtime.Time, error) {
+	bs := e.opts.BlockSize
+	if off%bs != 0 || length%bs != 0 || length < 0 {
+		return at, fmt.Errorf("%w: discard off=%d len=%d block=%d", ErrAlignment, off, length, bs)
+	}
+	if length == 0 {
+		return at, nil
+	}
+	exts, err := e.img.Extents(off, length)
+	if err != nil {
+		return at, err
+	}
+
+	discardOne := func(at vtime.Time, ext rbd.Extent) (vtime.Time, error) {
+		start := ext.ObjOff / bs
+		nbx := ext.Length / bs
+		lk := e.locks.of(ext.ObjIdx)
+		lk.Lock()
+		defer lk.Unlock()
+
+		dirtyAlloc := false
+		var ops []rados.Op
+		if e.plan.trackAlloc {
+			a, end, err := e.loadAlloc(at, ext.ObjIdx)
+			if err != nil {
+				return at, err
+			}
+			at = end
+			if !a.anyPresent(start, start+nbx) {
+				// Nothing allocated in the range: already holes; do not
+				// create the object just to zero it.
+				return at, nil
+			}
+			for b := start; b < start+nbx; b++ {
+				a.clearBlock(b)
+			}
+			dirtyAlloc = true
+			dops, release := e.plan.discardOps(start, nbx)
+			defer release()
+			ops = append(dops, rados.Op{Kind: rados.OpSetAttr, Key: []byte(allocAttr), Data: a.encode()})
+		} else {
+			// Probe before punching: discarding a never-created object
+			// must not materialize it (or move zero bytes) just to make
+			// holes that already exist.
+			res, end, err := e.img.Operate(at, ext.ObjIdx, 0, []rados.Op{{Kind: rados.OpStat}})
+			if err != nil {
+				return at, err
+			}
+			at = end
+			if res[0].Status == rados.StatusNotFound {
+				return at, nil
+			}
+			dops, release := e.plan.discardOps(start, nbx)
+			defer release()
+			ops = dops
+		}
+		return e.commitObjectTxn(at, ext.ObjIdx, ops, dirtyAlloc)
+	}
+
+	return fanOutExtents(at, len(exts), func(i int) (vtime.Time, error) {
+		return discardOne(at, exts[i])
+	})
 }
 
 func allZero(b []byte) bool {

@@ -2,17 +2,19 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
 
+	"repro/internal/luks"
 	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/simdisk"
 )
 
-func testClient(t *testing.T) *rados.Client {
+func testClient(t testing.TB) *rados.Client {
 	t.Helper()
 	cfg := rados.DefaultClusterConfig()
 	cfg.OSDs = 3
@@ -33,7 +35,7 @@ func testClient(t *testing.T) *rados.Client {
 
 var imgCounter int
 
-func newEncrypted(t *testing.T, scheme Scheme, layout Layout) *EncryptedImage {
+func newEncrypted(t testing.TB, scheme Scheme, layout Layout) *EncryptedImage {
 	t.Helper()
 	cl := testClient(t)
 	imgCounter++
@@ -181,6 +183,16 @@ func TestHolesReadZero(t *testing.T) {
 			t.Fatalf("%v/%v: hole not zero", combo.Scheme, combo.Layout)
 		}
 	}
+}
+
+// cryptorAt fetches the live cryptor of one key epoch.
+func cryptorAt(t *testing.T, e *EncryptedImage, epoch uint32) cryptor {
+	t.Helper()
+	c, err := e.ring.cryptorFor(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }
 
 // rawBlock reads the stored ciphertext of image block b (attacker view).
@@ -560,7 +572,7 @@ func TestZeroCiphertextNotAHole(t *testing.T) {
 			e := newEncrypted(t, scheme, LayoutNone)
 			// plain = Decrypt(zeros) at block 0, so Encrypt(plain) == zeros.
 			plain := make([]byte, 4096)
-			if err := e.cryptor.open(plain, make([]byte, 4096), 0, nil); err != nil {
+			if err := cryptorAt(t, e, 0).open(plain, make([]byte, 4096), 0, nil); err != nil {
 				t.Fatal(err)
 			}
 			if bytes.Equal(plain, make([]byte, 4096)) {
@@ -588,9 +600,13 @@ func TestZeroCiphertextNotAHole(t *testing.T) {
 	for _, layout := range []Layout{LayoutUnaligned, LayoutObjectEnd, LayoutOMAP} {
 		t.Run("xts-rand/"+layout.String(), func(t *testing.T) {
 			e := newEncrypted(t, SchemeXTSRand, layout)
+			// Stored slot = scheme IV bytes + the epoch tag (epoch 0 here).
 			meta := bytes.Repeat([]byte{0x5A}, e.MetaLen())
+			for i := int(e.schemeMetaLen()); i < len(meta); i++ {
+				meta[i] = 0
+			}
 			plain := make([]byte, 4096)
-			if err := e.cryptor.open(plain, make([]byte, 4096), 0, meta); err != nil {
+			if err := cryptorAt(t, e, 0).open(plain, make([]byte, 4096), 0, meta[:e.schemeMetaLen()]); err != nil {
 				t.Fatal(err)
 			}
 			if _, _, err := e.Image().Operate(0, 0, 0, e.plan.writeOps(0, make([]byte, 4096), meta)); err != nil {
@@ -605,6 +621,130 @@ func TestZeroCiphertextNotAHole(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestLegacyContainerCompat simulates an image whose container predates
+// the versioned-key table: metadata slots carry scheme bytes only (no
+// epoch tag), reads must use that geometry, and re-keying is refused
+// because the on-disk slots have no room for tags.
+func TestLegacyContainerCompat(t *testing.T) {
+	for _, combo := range allCombos() {
+		t.Run(fmt.Sprintf("%v/%v", combo.Scheme, combo.Layout), func(t *testing.T) {
+			e := newEncrypted(t, combo.Scheme, combo.Layout)
+			// Strip the epoch table from the persisted descriptor.
+			var desc format
+			if err := json.Unmarshal(e.Image().EncryptionBlob(), &desc); err != nil {
+				t.Fatal(err)
+			}
+			container, err := luks.Unmarshal(desc.LUKS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			container.Epochs, container.WrapSalt, container.Current = nil, nil, 0
+			if desc.LUKS, err = container.Marshal(); err != nil {
+				t.Fatal(err)
+			}
+			blob, err := json.Marshal(desc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Image().SetEncryptionBlob(0, blob); err != nil {
+				t.Fatal(err)
+			}
+
+			legacy, _, err := Load(0, e.Image(), []byte("s3cret"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sml := legacy.schemeMetaLen(); int64(legacy.MetaLen()) != sml {
+				t.Fatalf("legacy stored meta %d, scheme meta %d", legacy.MetaLen(), sml)
+			}
+			data := make([]byte, 16<<10)
+			rand.New(rand.NewSource(4)).Read(data)
+			if _, err := legacy.WriteAt(0, data, 0); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, len(data))
+			// Same handle and a cold reload both read the legacy geometry.
+			for _, h := range []*EncryptedImage{legacy, mustLoad(t, e.Image())} {
+				if _, err := h.ReadAt(0, got, 0); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatal("legacy round trip failed")
+				}
+			}
+			_, _, err = legacy.BeginEpoch(0)
+			if legacy.schemeMetaLen() > 0 {
+				if err == nil {
+					t.Fatal("re-key accepted on a legacy metadata-layout image")
+				}
+			} else if err != nil {
+				// Metadata-free schemes keep epochs in the sidecar — a
+				// legacy container can start re-keying.
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPreSidecarObjectNotMasked: an object holding data written without
+// an allocation sidecar (a pre-sidecar build — simulated here by
+// writing sealed bytes through the raw writeOps path) must keep that
+// data visible after the first tracked write seeds the sidecar from the
+// logical size, and Discard must punch it for real.
+func TestPreSidecarObjectNotMasked(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeLUKS2, SchemeEME2Det} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			e := newEncrypted(t, scheme, LayoutNone)
+			old := bytes.Repeat([]byte{0x3C}, 4096)
+			cipher := make([]byte, 4096)
+			if err := cryptorAt(t, e, 0).seal(cipher, old, 0, nil); err != nil {
+				t.Fatal(err)
+			}
+			// Raw write: data lands, no sidecar — the pre-sidecar world.
+			if _, _, err := e.Image().Operate(0, 0, 0, e.plan.writeOps(0, cipher, nil)); err != nil {
+				t.Fatal(err)
+			}
+			// First tracked write to the same object (block 1).
+			fresh := bytes.Repeat([]byte{0x77}, 4096)
+			if _, err := e.WriteAt(0, fresh, 4096); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 8192)
+			if _, err := e.ReadAt(0, got, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got[:4096], old) {
+				t.Fatal("pre-sidecar block masked as a hole by the seeded sidecar")
+			}
+			if !bytes.Equal(got[4096:], fresh) {
+				t.Fatal("tracked write lost")
+			}
+			// And Discard of the pre-sidecar block actually erases it.
+			if _, err := e.Discard(0, 0, 4096); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.ReadAt(0, got[:4096], 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got[:4096], make([]byte, 4096)) {
+				t.Fatal("discarded pre-sidecar block still readable")
+			}
+			if ct := rawBlock(t, e, 0); !allZero(ct) {
+				t.Fatal("ciphertext of discarded pre-sidecar block survives")
+			}
+		})
+	}
+}
+
+func mustLoad(t *testing.T, img *rbd.Image) *EncryptedImage {
+	t.Helper()
+	e, _, err := Load(0, img, []byte("s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
 }
 
 func TestParseHelpers(t *testing.T) {

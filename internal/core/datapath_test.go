@@ -233,6 +233,28 @@ func BenchmarkDatapathSeal(b *testing.B) {
 	}
 }
 
+// BenchmarkOMAPReadAllocs pins the allocation budget of the omap
+// layout's read path end to end (client → OSD → KV scan → wire decode →
+// open pipeline). Run with -benchmem: the KV scan and the wire pair
+// decoding are arena-batched, so allocs/op stays in the dozens instead
+// of the ~1k-per-IO (two per OMAP pair) the layout used to pay.
+func BenchmarkOMAPReadAllocs(b *testing.B) {
+	e := newEncrypted(b, SchemeXTSRand, LayoutOMAP)
+	io := make([]byte, 256<<10) // 64 blocks → 64 OMAP pairs per IO
+	mrand.New(mrand.NewSource(3)).Read(io)
+	if _, err := e.WriteAt(0, io, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(io)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ReadAt(0, io, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDatapathOpen measures the pure open pipeline: parse staged
 // wire bytes and decrypt, serial vs parallel.
 func BenchmarkDatapathOpen(b *testing.B) {

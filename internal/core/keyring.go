@@ -1,0 +1,104 @@
+package core
+
+// keyring.go holds the per-image key-epoch machinery behind the
+// key-lifecycle subsystem (internal/keymgr): every key epoch in the LUKS
+// container gets its own cryptor, blocks are sealed under the current
+// epoch and opened under whatever epoch their stored metadata (or the
+// allocation sidecar, for metadata-free schemes) says they carry.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// epochLen is the per-block epoch tag appended to stored metadata (a
+// little-endian uint32 after the scheme's IV/tag bytes).
+const epochLen = 4
+
+// ErrKeyErased reports a block whose key epoch has been destroyed
+// (crypto-erase): the ciphertext is permanently unrecoverable.
+var ErrKeyErased = errors.New("core: block sealed under a destroyed key epoch")
+
+// keyring maps live key epochs to their cryptors. Reads are the IO hot
+// path; mutations happen only on key-lifecycle operations.
+type keyring struct {
+	mu      sync.RWMutex
+	byEpoch map[uint32]cryptor
+	current uint32
+}
+
+func newKeyring() *keyring {
+	return &keyring{byEpoch: make(map[uint32]cryptor)}
+}
+
+func (k *keyring) install(epoch uint32, c cryptor) {
+	k.mu.Lock()
+	k.byEpoch[epoch] = c
+	k.mu.Unlock()
+}
+
+func (k *keyring) drop(epoch uint32) {
+	k.mu.Lock()
+	delete(k.byEpoch, epoch)
+	k.mu.Unlock()
+}
+
+func (k *keyring) setCurrent(epoch uint32) {
+	k.mu.Lock()
+	k.current = epoch
+	k.mu.Unlock()
+}
+
+func (k *keyring) currentEpoch() uint32 {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.current
+}
+
+// cryptorFor returns the cryptor of a live epoch, or ErrKeyErased when
+// the epoch has been retired and destroyed.
+func (k *keyring) cryptorFor(epoch uint32) (cryptor, error) {
+	k.mu.RLock()
+	c, ok := k.byEpoch[epoch]
+	k.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: epoch %d", ErrKeyErased, epoch)
+	}
+	return c, nil
+}
+
+// epochs lists the live epoch ids (unordered).
+func (k *keyring) epochs() []uint32 {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]uint32, 0, len(k.byEpoch))
+	for e := range k.byEpoch {
+		out = append(out, e)
+	}
+	return out
+}
+
+// lockTable hands out one RWMutex per object index. Writers hold the
+// read side (they may run concurrently against different blocks); the
+// rekey walker, Discard and the metadata-free sidecar path hold the
+// write side so their read-modify-write cycles cannot interleave with
+// anything else touching the object.
+type lockTable struct {
+	mu sync.Mutex
+	m  map[int64]*sync.RWMutex
+}
+
+func (t *lockTable) of(idx int64) *sync.RWMutex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[int64]*sync.RWMutex)
+	}
+	l, ok := t.m[idx]
+	if !ok {
+		l = &sync.RWMutex{}
+		t.m[idx] = l
+	}
+	return l
+}

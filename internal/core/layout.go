@@ -67,12 +67,24 @@ func omapIVKey(block int64) []byte {
 // planner turns an object-relative block run plus its ciphertext and
 // metadata into op vectors, and parses read results back. All offsets are
 // in blocks relative to the object start.
+//
+// metaLen is the STORED metadata per block: the scheme's IV/tag bytes
+// plus — when epochTagged — the epochLen-byte key-epoch tag (images
+// whose container predates the epoch table store scheme bytes only, and
+// cannot re-key until reformatted). trackAlloc marks the metadata-free
+// configuration (LayoutNone), which keeps presence and epoch in the
+// allocation sidecar attribute instead.
 type planner struct {
-	layout     Layout
-	blockSize  int64
-	metaLen    int64
-	objectSize int64 // plaintext bytes per object (the data region size)
+	layout      Layout
+	blockSize   int64
+	metaLen     int64
+	objectSize  int64 // plaintext bytes per object (the data region size)
+	trackAlloc  bool
+	epochTagged bool
 }
+
+// objBlocks is the number of encryption blocks per object.
+func (p *planner) objBlocks() int64 { return p.objectSize / p.blockSize }
 
 // writeOps builds the atomic op vector persisting cipher (nb blocks) and
 // metas (nb*metaLen bytes) for blocks [startBlock, startBlock+nb). It is
@@ -200,7 +212,11 @@ func (p *planner) readOps(startBlock, nb int64) []rados.Op {
 	stat := rados.Op{Kind: rados.OpStat}
 	switch p.layout {
 	case LayoutNone:
-		return []rados.Op{{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize}, stat}
+		return []rados.Op{
+			{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize},
+			{Kind: rados.OpGetAttr, Key: []byte(allocAttr)},
+			stat,
+		}
 
 	case LayoutUnaligned:
 		stride := p.blockSize + p.metaLen
@@ -237,7 +253,7 @@ func (p *planner) parseRead(startBlock, nb int64, res []rados.Result) (cipher, m
 	cipher = make([]byte, nb*p.blockSize)
 	metas = make([]byte, nb*p.metaLen)
 	pb := make([]byte, nb)
-	if err := p.parseReadInto(startBlock, nb, res, cipher, metas, pb); err != nil {
+	if err := p.parseReadInto(startBlock, nb, res, cipher, metas, pb, nil); err != nil {
 		return nil, nil, nil, err
 	}
 	present = make([]bool, nb)
@@ -249,28 +265,34 @@ func (p *planner) parseRead(startBlock, nb int64, res []rados.Result) (cipher, m
 
 // parseReadInto fills caller-provided (typically pooled) buffers with the
 // ciphertext and metadata of blocks [startBlock, startBlock+nb) and marks
-// each block's presence. Presence is derived from the read results, never
-// from the data content:
+// each block's presence. When epochs is non-nil (nb*epochLen bytes) it
+// also receives each block's key-epoch tag, little-endian — from the
+// metadata tail under the metadata layouts, from the allocation sidecar
+// under LayoutNone. Presence is derived from the read results, never from
+// the data content:
 //
 //   - object StatusNotFound       → every block absent (sparse read);
 //   - the OpStat logical size     → a block whose stored footprint lies
 //     fully beyond the object's logical size was never written;
 //   - LayoutOMAP                  → a block is present iff its IV key
 //     exists in the object database (exact per-block presence);
+//   - LayoutNone                  → a block is present iff its bit is set
+//     in the allocation sidecar (exact presence; objects written before
+//     the sidecar existed fall back to the logical-size heuristic);
 //   - metadata-bearing layouts    → an all-zero metadata slot inside the
 //     logical size marks an interior hole (a real write leaves a random
 //     IV there; the odds of a legitimate all-zero IV are ~2^-128).
 //
 // Data content is deliberately never sniffed: a written block whose
 // ciphertext happens to be all zeros (plaintext Decrypt(0)) is present
-// and decrypts normally. Under metadata-free schemes an interior
-// never-written block below the logical size reads as whatever the
-// deterministic cipher makes of zeros — the same contract dm-crypt gives
-// for never-written sectors.
-func (p *planner) parseReadInto(startBlock, nb int64, res []rados.Result, cipher, metas, present []byte) error {
+// and decrypts normally.
+func (p *planner) parseReadInto(startBlock, nb int64, res []rados.Result, cipher, metas, present, epochs []byte) error {
 	clear(cipher[:nb*p.blockSize])
 	clear(metas[:nb*p.metaLen])
 	clear(present[:nb])
+	if epochs != nil {
+		clear(epochs[:nb*epochLen])
+	}
 
 	if res[0].Status == rados.StatusNotFound {
 		return nil
@@ -284,9 +306,44 @@ func (p *planner) parseReadInto(startBlock, nb int64, res []rados.Result, cipher
 		size = st.Size
 	}
 
+	// copyEpochTails extracts the epoch tag from each present block's
+	// stored metadata slot. Legacy (untagged) slots leave the epoch
+	// buffer zero — epoch 0, the implicit master-key epoch.
+	copyEpochTails := func() {
+		if epochs == nil || !p.epochTagged {
+			return
+		}
+		for b := int64(0); b < nb; b++ {
+			if present[b] != 0 {
+				copy(epochs[b*epochLen:(b+1)*epochLen], metas[(b+1)*p.metaLen-epochLen:(b+1)*p.metaLen])
+			}
+		}
+	}
+
 	switch p.layout {
 	case LayoutNone:
+		if len(res) != 3 {
+			return fmt.Errorf("core: metadata-free read returned %d results", len(res))
+		}
 		copy(cipher, res[0].Data)
+		if res[1].Status == rados.StatusOK {
+			a, err := decodeObjAlloc(res[1].Data, p.objBlocks())
+			if err != nil {
+				return err
+			}
+			for b := int64(0); b < nb; b++ {
+				if a.present(startBlock + b) {
+					present[b] = 1
+					if epochs != nil {
+						binary.LittleEndian.PutUint32(epochs[b*epochLen:], a.epoch(startBlock+b))
+					}
+				}
+			}
+			return nil
+		}
+		// No sidecar (object written by a pre-sidecar build): fall back to
+		// the logical-size heuristic — interior holes decrypt to
+		// deterministic garbage, the contract dm-crypt gives.
 		for b := int64(0); b < nb; b++ {
 			present[b] = boolByte((startBlock+b+1)*p.blockSize <= size)
 		}
@@ -303,6 +360,7 @@ func (p *planner) parseReadInto(startBlock, nb int64, res []rados.Result, cipher
 			present[b] = boolByte((startBlock+b+1)*stride <= size &&
 				(p.metaLen == 0 || !allZero(metas[b*p.metaLen:(b+1)*p.metaLen])))
 		}
+		copyEpochTails()
 		return nil
 
 	case LayoutObjectEnd:
@@ -318,6 +376,7 @@ func (p *planner) parseReadInto(startBlock, nb int64, res []rados.Result, cipher
 			present[b] = boolByte(p.objectSize+(startBlock+b+1)*p.metaLen <= size &&
 				!allZero(metas[b*p.metaLen:(b+1)*p.metaLen]))
 		}
+		copyEpochTails()
 		return nil
 
 	case LayoutOMAP:
@@ -339,9 +398,56 @@ func (p *planner) parseReadInto(startBlock, nb int64, res []rados.Result, cipher
 			copy(metas[(block-startBlock)*p.metaLen:], pair.Value)
 			present[block-startBlock] = 1
 		}
+		copyEpochTails()
 		return nil
 	}
 	panic("core: unknown layout")
+}
+
+// discardOps builds the crypto-erase op vector for blocks
+// [startBlock, startBlock+nb): the ciphertext region is overwritten with
+// zeros and the per-block metadata punched (zeroed in place, or the OMAP
+// keys deleted), so every presence rule reports a hole afterwards and no
+// retained key can recover the data. Returned buffers come from the
+// scratch pool; callers release() once every Operate has returned.
+// LayoutNone relies on the allocation sidecar for presence — the caller
+// appends the updated sidecar attribute to the same transaction.
+func (p *planner) discardOps(startBlock, nb int64) (ops []rados.Op, release func()) {
+	var bufs [][]byte
+	zero := func(n int64) []byte {
+		b := getZeroBuf(int(n))
+		bufs = append(bufs, b)
+		return b
+	}
+	release = func() {
+		for _, b := range bufs {
+			putBuf(b)
+		}
+	}
+	switch p.layout {
+	case LayoutNone:
+		ops = []rados.Op{{Kind: rados.OpWrite, Off: startBlock * p.blockSize, Data: zero(nb * p.blockSize)}}
+	case LayoutUnaligned:
+		stride := p.blockSize + p.metaLen
+		ops = []rados.Op{{Kind: rados.OpWrite, Off: startBlock * stride, Data: zero(nb * stride)}}
+	case LayoutObjectEnd:
+		ops = []rados.Op{
+			{Kind: rados.OpWrite, Off: startBlock * p.blockSize, Data: zero(nb * p.blockSize)},
+			{Kind: rados.OpWrite, Off: p.objectSize + startBlock*p.metaLen, Data: zero(nb * p.metaLen)},
+		}
+	case LayoutOMAP:
+		pairs := make([]rados.Pair, nb)
+		for b := int64(0); b < nb; b++ {
+			pairs[b] = rados.Pair{Key: omapIVKey(startBlock + b)}
+		}
+		ops = []rados.Op{
+			{Kind: rados.OpWrite, Off: startBlock * p.blockSize, Data: zero(nb * p.blockSize)},
+			{Kind: rados.OpOmapDel, Pairs: pairs},
+		}
+	default:
+		panic("core: unknown layout")
+	}
+	return ops, release
 }
 
 // SectorCount is the §3.3 analytic model: the minimum number of physical

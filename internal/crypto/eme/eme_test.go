@@ -2,6 +2,8 @@ package eme
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -158,5 +160,271 @@ func TestSingleBlock(t *testing.T) {
 	}
 	if !bytes.Equal(back, pt) {
 		t.Fatal("single block round trip failed")
+	}
+}
+
+// ---- reference-implementation cross-check (the IEEE 1619.2 stand-in) ----
+//
+// Real EME2-AES test vectors are not available offline, so the optimized
+// implementation is checked against refEncrypt/refDecrypt: a naive,
+// allocation-happy, independently written transcription of the same
+// Encrypt-Mix-Encrypt construction. The two share nothing but the
+// specification (package code: in-place strided passes over pooled
+// scratch; reference: block lists, precomputed mask tables, no sharing),
+// so agreement over structured and random inputs is strong evidence
+// neither has drifted — the role 1619.2 known-answer vectors would play.
+
+// refMul2 doubles an element of GF(2^128) (little-endian bit order, as
+// the package uses).
+func refMul2(v []byte) []byte {
+	out := make([]byte, 16)
+	var carry byte
+	for i := 0; i < 16; i++ {
+		out[i] = v[i]<<1 | carry
+		carry = v[i] >> 7
+	}
+	if carry != 0 {
+		out[0] ^= 0x87
+	}
+	return out
+}
+
+func refXor(a, b []byte) []byte {
+	out := make([]byte, len(a))
+	for i := range out {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// refProcess is the reference EME transform.
+func refProcess(c *Cipher, src []byte, tweak [16]byte, enc bool) []byte {
+	m := len(src) / 16
+	crypt := c.block.Encrypt
+	if !enc {
+		crypt = c.block.Decrypt
+	}
+
+	// Precompute the whitening mask table L, 2L, 4L, ...
+	masks := make([][]byte, m)
+	masks[0] = append([]byte(nil), c.l0[:]...)
+	for i := 1; i < m; i++ {
+		masks[i] = refMul2(masks[i-1])
+	}
+
+	// Pass 1.
+	inter := make([][]byte, m)
+	for i := 0; i < m; i++ {
+		blk := refXor(src[i*16:(i+1)*16], masks[i])
+		out := make([]byte, 16)
+		crypt(out, blk)
+		inter[i] = out
+	}
+
+	// Mix.
+	sp := make([]byte, 16)
+	for i := 0; i < m; i++ {
+		sp = refXor(sp, inter[i])
+	}
+	mp := refXor(sp, tweak[:])
+	mc := make([]byte, 16)
+	crypt(mc, mp)
+	mv := refXor(mp, mc)
+
+	mixed := make([][]byte, m)
+	mmask := mv
+	acc := make([]byte, 16)
+	for i := 1; i < m; i++ {
+		mixed[i] = refXor(inter[i], mmask)
+		acc = refXor(acc, mixed[i])
+		mmask = refMul2(mmask)
+	}
+	mixed[0] = refXor(refXor(mc, tweak[:]), acc)
+
+	// Pass 2.
+	dst := make([]byte, m*16)
+	for i := 0; i < m; i++ {
+		out := make([]byte, 16)
+		crypt(out, mixed[i])
+		copy(dst[i*16:], refXor(out, masks[i]))
+	}
+	return dst
+}
+
+func refEncrypt(c *Cipher, src []byte, tweak [16]byte) []byte {
+	return refProcess(c, src, tweak, true)
+}
+
+func refDecrypt(c *Cipher, src []byte, tweak [16]byte) []byte {
+	return refProcess(c, src, tweak, false)
+}
+
+// TestMatchesReferenceImplementation cross-checks encrypt AND decrypt
+// against the reference over structured plaintexts (zeros, ramps,
+// repeated sub-blocks, single set bits) and random ones, at several data
+// unit sizes including the 4 KiB sector.
+func TestMatchesReferenceImplementation(t *testing.T) {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i*11 + 3)
+	}
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	sizes := []int{16, 32, 512, 2048, 4096}
+	structured := func(n, kind int) []byte {
+		p := make([]byte, n)
+		switch kind {
+		case 0: // zeros
+		case 1: // byte ramp
+			for i := range p {
+				p[i] = byte(i)
+			}
+		case 2: // repeated sub-block
+			for i := range p {
+				p[i] = byte(i % 16)
+			}
+		case 3: // single set bit
+			p[n/2] = 0x80
+		default: // random
+			rng.Read(p)
+		}
+		return p
+	}
+	for _, n := range sizes {
+		for kind := 0; kind < 6; kind++ {
+			var tweak [16]byte
+			rng.Read(tweak[:])
+			pt := structured(n, kind)
+
+			want := refEncrypt(c, pt, tweak)
+			got := make([]byte, n)
+			if err := c.Encrypt(got, pt, tweak); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("n=%d kind=%d: encrypt diverges from reference", n, kind)
+			}
+
+			back := make([]byte, n)
+			if err := c.Decrypt(back, want, tweak); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, pt) {
+				t.Fatalf("n=%d kind=%d: package decrypt does not invert reference encrypt", n, kind)
+			}
+			if rb := refDecrypt(c, got, tweak); !bytes.Equal(rb, pt) {
+				t.Fatalf("n=%d kind=%d: reference decrypt does not invert package encrypt", n, kind)
+			}
+		}
+	}
+}
+
+// TestTweakSensitivity: the same plaintext under two tweaks differing in
+// a single bit must produce unrelated ciphertexts, for every tweak byte
+// position — the property that binds a sector's ciphertext to its LBA/IV.
+func TestTweakSensitivity(t *testing.T) {
+	c, _ := New(make([]byte, 32))
+	pt := make([]byte, 4096)
+	for i := range pt {
+		pt[i] = byte(i * 13)
+	}
+	base := make([]byte, 4096)
+	var t0 [16]byte
+	if err := c.Encrypt(base, pt, t0); err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < 16; pos++ {
+		tw := t0
+		tw[pos] ^= 1
+		ct := make([]byte, 4096)
+		if err := c.Encrypt(ct, pt, tw); err != nil {
+			t.Fatal(err)
+		}
+		diff := 0
+		for i := range ct {
+			if ct[i] != base[i] {
+				diff++
+			}
+		}
+		// ~255/256 of bytes should differ; require a loose half.
+		if diff < 2048 {
+			t.Fatalf("tweak bit in byte %d changed only %d/4096 ciphertext bytes", pos, diff)
+		}
+	}
+}
+
+// TestSingleBitDiffusion quantifies the avalanche: flipping one
+// plaintext bit flips close to half of all ciphertext BITS (not just
+// bytes), across bit positions spread over the whole sector.
+func TestSingleBitDiffusion(t *testing.T) {
+	c, _ := New(make([]byte, 32))
+	var tweak [16]byte
+	pt := make([]byte, 4096)
+	rand.New(rand.NewSource(5)).Read(pt)
+	base := make([]byte, 4096)
+	if err := c.Encrypt(base, pt, tweak); err != nil {
+		t.Fatal(err)
+	}
+	for _, bit := range []int{0, 7, 1000, 16384, 32767} {
+		mod := append([]byte(nil), pt...)
+		mod[bit/8] ^= 1 << (bit % 8)
+		ct := make([]byte, 4096)
+		if err := c.Encrypt(ct, mod, tweak); err != nil {
+			t.Fatal(err)
+		}
+		hamming := 0
+		for i := range ct {
+			x := ct[i] ^ base[i]
+			for ; x != 0; x &= x - 1 {
+				hamming++
+			}
+		}
+		// Expect ≈ 16384 flipped bits of 32768; accept a wide ±25% band
+		// (binomial fluctuation is far tighter; this catches structural
+		// failure, not statistics).
+		if hamming < 12288 || hamming > 20480 {
+			t.Fatalf("bit %d: %d/32768 ciphertext bits flipped", bit, hamming)
+		}
+	}
+}
+
+// TestKnownAnswerDigests pins fixed (key, tweak, plaintext) encryptions
+// to SHA-256 digests captured from this implementation after it was
+// verified against the independent reference above. They guard against
+// the construction drifting silently — the role interoperable IEEE
+// 1619.2 vectors would play once wired in (ROADMAP item).
+func TestKnownAnswerDigests(t *testing.T) {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{
+		16:   "dc68825a5477000537164a3ccf1db6fd4a83a20bed32171eee252982418e9b12",
+		512:  "ec8ee4a2d5f9ab6978d258e6aff51b623bf1597b9190a99e387c6fec425fa9f6",
+		4096: "f04279b1e36d495505312fefa8b0f089b85fc4211595c0b57b93a57c02f2b162",
+	}
+	for n, digest := range want {
+		pt := make([]byte, n)
+		for i := range pt {
+			pt[i] = byte(i * 3)
+		}
+		var tweak [16]byte
+		for i := range tweak {
+			tweak[i] = byte(0xF0 | i)
+		}
+		ct := make([]byte, n)
+		if err := c.Encrypt(ct, pt, tweak); err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprintf("%x", sha256.Sum256(ct)); got != digest {
+			t.Fatalf("n=%d: ciphertext digest %s, want %s", n, got, digest)
+		}
 	}
 }

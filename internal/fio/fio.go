@@ -23,6 +23,12 @@ type Target interface {
 	Size() int64
 }
 
+// Discarder is the optional crypto-erase surface (fio's trim support):
+// targets that implement it can run workloads with a discard op mix.
+type Discarder interface {
+	Discard(at vtime.Time, off, length int64) (vtime.Time, error)
+}
+
 // Pattern selects the access pattern.
 type Pattern int
 
@@ -77,6 +83,10 @@ type Spec struct {
 	// Fill, when set, deterministically patterns write payloads; reads
 	// ignore it. (Zero payloads would defeat encryption-layer checks.)
 	Fill byte
+	// TrimPct makes that percentage of ops discards (fio's trim mix),
+	// at random block-aligned offsets. The target must implement
+	// Discarder.
+	TrimPct int
 }
 
 func (s Spec) withDefaults(target Target) (Spec, error) {
@@ -98,6 +108,14 @@ func (s Spec) withDefaults(target Target) (Spec, error) {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+	if s.TrimPct < 0 || s.TrimPct > 100 {
+		return s, fmt.Errorf("fio: trim percentage %d out of range", s.TrimPct)
+	}
+	if s.TrimPct > 0 {
+		if _, ok := target.(Discarder); !ok {
+			return s, errors.New("fio: trim mix needs a target with Discard support")
+		}
+	}
 	return s, nil
 }
 
@@ -105,6 +123,7 @@ func (s Spec) withDefaults(target Target) (Spec, error) {
 type Result struct {
 	Spec      Spec
 	Ops       int
+	Discards  int // ops that were discards (counted in Ops, not Bytes)
 	Bytes     int64
 	Start     vtime.Time
 	End       vtime.Time // latest virtual completion
@@ -194,12 +213,14 @@ func Run(spec Spec, target Target, start vtime.Time) (Result, error) {
 
 	var (
 		issued   int
+		discards int
 		maxEnd   = start
 		lats     = make([]time.Duration, 0, spec.TotalOps)
 		firstErr error
 		mu       sync.Mutex
 		ewma     = time.Millisecond // adaptive admission window seed
 	)
+	trimmer, _ := target.(Discarder)
 
 	for issued < spec.TotalOps && firstErr == nil {
 		minNow := jobs[0].now
@@ -247,9 +268,13 @@ func Run(spec Spec, target Target, start vtime.Time) (Result, error) {
 				}
 				var end vtime.Time
 				var err error
-				if spec.Pattern.Reads() {
+				isTrim := spec.TrimPct > 0 && js.rng.Intn(100) < spec.TrimPct
+				switch {
+				case isTrim:
+					end, err = trimmer.Discard(js.now, off, spec.BlockSize)
+				case spec.Pattern.Reads():
 					end, err = target.ReadAt(js.now, js.buf, off)
-				} else {
+				default:
 					end, err = target.WriteAt(js.now, js.buf, off)
 				}
 				mu.Lock()
@@ -259,6 +284,9 @@ func Run(spec Spec, target Target, start vtime.Time) (Result, error) {
 						firstErr = fmt.Errorf("fio: %s off=%d: %w", spec.Pattern, off, err)
 					}
 					return
+				}
+				if isTrim {
+					discards++
 				}
 				lat := end.Sub(js.now)
 				lats = append(lats, lat)
@@ -278,7 +306,8 @@ func Run(spec Spec, target Target, start vtime.Time) (Result, error) {
 	res := Result{
 		Spec:     spec,
 		Ops:      len(lats),
-		Bytes:    int64(len(lats)) * spec.BlockSize,
+		Discards: discards,
+		Bytes:    int64(len(lats)-discards) * spec.BlockSize,
 		Start:    start,
 		End:      maxEnd,
 		WallTime: time.Since(wallStart),

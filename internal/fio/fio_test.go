@@ -41,6 +41,21 @@ func (m *memTarget) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time, err
 
 func (m *memTarget) Size() int64 { return int64(len(m.data)) }
 
+// trimTarget extends memTarget with Discard (zeroing, as crypto-erase
+// reads back).
+type trimTarget struct {
+	*memTarget
+	trims int
+}
+
+func (m *trimTarget) Discard(at vtime.Time, off, length int64) (vtime.Time, error) {
+	m.mu.Lock()
+	clear(m.data[off : off+length])
+	m.trims++
+	m.mu.Unlock()
+	return m.res.Use(at, m.opCost), nil
+}
+
 func TestRunCountsOps(t *testing.T) {
 	tgt := newMemTarget(1<<20, time.Microsecond)
 	res, err := Run(Spec{Pattern: RandWrite, BlockSize: 4096, QueueDepth: 4, TotalOps: 100}, tgt, 0)
@@ -52,6 +67,36 @@ func TestRunCountsOps(t *testing.T) {
 	}
 	if tgt.writes != 100 || tgt.reads != 0 {
 		t.Fatalf("device saw %d writes %d reads", tgt.writes, tgt.reads)
+	}
+}
+
+func TestTrimMix(t *testing.T) {
+	tgt := &trimTarget{memTarget: newMemTarget(1<<20, time.Microsecond)}
+	res, err := Run(Spec{Pattern: RandWrite, BlockSize: 4096, QueueDepth: 4, TotalOps: 400, TrimPct: 25}, tgt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 400 {
+		t.Fatalf("ops=%d", res.Ops)
+	}
+	if res.Discards != tgt.trims || tgt.writes+tgt.trims != 400 {
+		t.Fatalf("discards=%d trims=%d writes=%d", res.Discards, tgt.trims, tgt.writes)
+	}
+	// ~25% of 400 ops; allow generous slack for the per-job RNGs.
+	if res.Discards < 50 || res.Discards > 150 {
+		t.Fatalf("trim mix %d/400 far from 25%%", res.Discards)
+	}
+	if res.Bytes != int64(400-res.Discards)*4096 {
+		t.Fatalf("bytes=%d with %d discards", res.Bytes, res.Discards)
+	}
+
+	// A trim mix against a target without Discard is rejected.
+	if _, err := Run(Spec{Pattern: RandWrite, BlockSize: 4096, TotalOps: 8, TrimPct: 10},
+		newMemTarget(1<<20, time.Microsecond), 0); err == nil {
+		t.Fatal("trim mix accepted without Discarder")
+	}
+	if _, err := Run(Spec{Pattern: RandWrite, BlockSize: 4096, TotalOps: 8, TrimPct: 101}, tgt, 0); err == nil {
+		t.Fatal("out-of-range trim pct accepted")
 	}
 }
 

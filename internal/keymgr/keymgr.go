@@ -1,0 +1,253 @@
+// Package keymgr is the key-lifecycle subsystem: online re-keying of an
+// encrypted virtual disk and crypto-erase, the two capabilities the
+// paper's per-block metadata makes cheap that length-preserving disk
+// encryption cannot have (§1, §4). A Rekeyer mints the next key epoch in
+// the image's LUKS-style container, then walks the image object by
+// object — under live IO — re-sealing every block still carrying the old
+// epoch tag. New writes always seal under the newest epoch, so the
+// walker and the workload converge; progress is persisted in the image
+// header's OMAP after every object, so a crashed client resumes where it
+// left off instead of restarting a multi-terabyte sweep. When the walk
+// completes, the retired epoch's wrapped key is destroyed: from that
+// moment nothing — not even a passphrase holder — can decrypt data that
+// was sealed under it (including pre-rekey snapshot clones), which is
+// the LUKS2 "online re-encryption journal" workflow collapsed into a
+// metadata tag plus a background walker.
+//
+// The control plane (this package: key ops, progress records) is
+// deliberately separate from the offloadable datapath (internal/core's
+// seal/open pipeline), following the FlexBSO split of PAPERS.md.
+package keymgr
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/luks"
+	"repro/internal/rados"
+	"repro/internal/vtime"
+)
+
+// progressKey is the header-OMAP key holding the persisted rekey cursor.
+const progressKey = "keymgr.rekey"
+
+var (
+	// ErrRekeyActive reports a Start while an unfinished rekey exists —
+	// resume it instead (a second transition would strand epochs).
+	ErrRekeyActive = errors.New("keymgr: rekey already in progress; resume it")
+	// ErrNoRekey reports a Resume with no persisted progress record.
+	ErrNoRekey = errors.New("keymgr: no rekey in progress")
+)
+
+// Progress is the persisted rekey cursor.
+type Progress struct {
+	From    uint32 `json:"from"`     // retiring epoch
+	To      uint32 `json:"to"`       // target epoch (container current)
+	NextObj int64  `json:"next_obj"` // first object not yet walked
+	Objects int64  `json:"objects"`  // walk domain, fixed at Start
+	// Rekeyed counts blocks re-sealed so far (informational; not part of
+	// crash-safety — the walker re-derives per-block work from epoch tags).
+	Rekeyed int64 `json:"rekeyed"`
+}
+
+// Done reports whether the walk has covered every object.
+func (p Progress) Done() bool { return p.NextObj >= p.Objects }
+
+// Rekeyer drives one epoch transition on one image.
+type Rekeyer struct {
+	img  *core.EncryptedImage
+	prog Progress
+}
+
+// Progress returns the current cursor.
+func (r *Rekeyer) Progress() Progress { return r.prog }
+
+// loadProgress reads the persisted cursor, reporting found=false when no
+// rekey is in flight.
+func loadProgress(at vtime.Time, img *core.EncryptedImage) (Progress, bool, vtime.Time, error) {
+	res, end, err := img.Image().OperateHeader(at, []rados.Op{{
+		Kind: rados.OpOmapGetRange,
+		Key:  []byte(progressKey),
+		Key2: []byte(progressKey + "\x00"),
+	}})
+	if err != nil {
+		return Progress{}, false, at, err
+	}
+	if res[0].Status != rados.StatusOK || len(res[0].Pairs) == 0 {
+		return Progress{}, false, end, nil
+	}
+	var p Progress
+	if err := json.Unmarshal(res[0].Pairs[0].Value, &p); err != nil {
+		return Progress{}, false, at, fmt.Errorf("keymgr: corrupt progress record: %v", err)
+	}
+	return p, true, end, nil
+}
+
+func (r *Rekeyer) persist(at vtime.Time) (vtime.Time, error) {
+	blob, err := json.Marshal(r.prog)
+	if err != nil {
+		return at, err
+	}
+	res, end, err := r.img.Image().OperateHeader(at, []rados.Op{{
+		Kind:  rados.OpOmapSet,
+		Pairs: []rados.Pair{{Key: []byte(progressKey), Value: blob}},
+	}})
+	if err != nil {
+		return at, err
+	}
+	return end, res[0].Status.Err()
+}
+
+func (r *Rekeyer) clearProgress(at vtime.Time) (vtime.Time, error) {
+	res, end, err := r.img.Image().OperateHeader(at, []rados.Op{{
+		Kind:  rados.OpOmapDel,
+		Pairs: []rados.Pair{{Key: []byte(progressKey)}},
+	}})
+	if err != nil {
+		return at, err
+	}
+	return end, res[0].Status.Err()
+}
+
+// Start begins the next epoch transition. The progress record is
+// persisted FIRST (the durable statement of intent), then epoch N+1 is
+// minted and persisted in the container — every write from there on
+// seals under it. A crash between the two leaves a record targeting an
+// epoch the container does not have yet; Resume detects that and
+// finishes Start's job, so no transition can be stranded half-begun
+// with the retiring key left alive forever. The data walk happens in
+// Step/Run.
+func Start(at vtime.Time, img *core.EncryptedImage) (*Rekeyer, vtime.Time, error) {
+	if _, found, end, err := loadProgress(at, img); err != nil {
+		return nil, at, err
+	} else if found {
+		return nil, end, ErrRekeyActive
+	}
+	from := img.CurrentEpoch()
+	r := &Rekeyer{img: img, prog: Progress{From: from, To: from + 1, Objects: img.ObjectCount()}}
+	at, err := r.persist(at)
+	if err != nil {
+		return nil, at, err
+	}
+	to, at, err := img.BeginEpoch(at)
+	if err != nil {
+		// BeginEpoch refused (legacy geometry, persist failure, ...):
+		// withdraw the intent record so the image is not wedged behind
+		// ErrRekeyActive forever.
+		if end, cerr := r.clearProgress(at); cerr == nil {
+			at = end
+		}
+		return nil, at, err
+	}
+	if to != r.prog.To {
+		if end, cerr := r.clearProgress(at); cerr == nil {
+			at = end
+		}
+		return nil, at, fmt.Errorf("keymgr: container minted epoch %d, progress record expected %d", to, r.prog.To)
+	}
+	return r, at, nil
+}
+
+// Resume reattaches to an interrupted rekey on a freshly loaded image —
+// the crash-recovery path. Normally the container already carries both
+// epochs; if the crash hit between Start's progress record and the
+// container persist, the target epoch is minted now. The walker then
+// continues from the persisted cursor; any object the crashed walker
+// half-skipped is re-examined block by block, which is idempotent
+// because re-sealing keys off the per-block epoch tags.
+func Resume(at vtime.Time, img *core.EncryptedImage) (*Rekeyer, vtime.Time, error) {
+	p, found, at, err := loadProgress(at, img)
+	if err != nil {
+		return nil, at, err
+	}
+	if !found {
+		return nil, at, ErrNoRekey
+	}
+	switch cur := img.CurrentEpoch(); {
+	case cur == p.To:
+		// Normal resume.
+	case cur == p.From:
+		// Crashed inside Start: the intent is durable but the epoch is
+		// not. Mint it and carry on.
+		to, end, err := img.BeginEpoch(at)
+		if err != nil {
+			return nil, at, err
+		}
+		at = end
+		if to != p.To {
+			return nil, at, fmt.Errorf("keymgr: container minted epoch %d, progress record expected %d", to, p.To)
+		}
+	default:
+		return nil, at, fmt.Errorf("keymgr: progress targets epoch %d but container is at %d (Abort to discard the record and Start a fresh transition)", p.To, cur)
+	}
+	return &Rekeyer{img: img, prog: p}, at, nil
+}
+
+// Abort withdraws an image's rekey progress record without touching any
+// keys — the recovery path when out-of-band epoch changes left a record
+// no Resume can reattach to. Blocks keep whatever epoch tag they carry
+// (all tagged epochs stay live, so nothing becomes unreadable); the next
+// completed transition re-seals them and destroys every retired epoch.
+func Abort(at vtime.Time, img *core.EncryptedImage) (vtime.Time, error) {
+	r := &Rekeyer{img: img}
+	return r.clearProgress(at)
+}
+
+// Step processes one object (or finishes the transition when every
+// object is walked: the retired epoch's key is destroyed and the
+// progress record removed). It returns done=true once the transition is
+// fully complete.
+func (r *Rekeyer) Step(at vtime.Time) (done bool, end vtime.Time, err error) {
+	if r.prog.Done() {
+		// The walk re-sealed every block not already at To, so EVERY
+		// older live epoch is now unreferenced on the head — destroy them
+		// all, not just From (an earlier aborted transition may have left
+		// an orphan). ErrEpochUnknown is tolerated so a crash between
+		// DropEpoch and clearProgress re-finishes cleanly.
+		for _, ep := range r.img.Epochs() {
+			if ep == r.prog.To {
+				continue
+			}
+			if at, err = r.img.DropEpoch(at, ep); err != nil && !errors.Is(err, luks.ErrEpochUnknown) {
+				return false, at, err
+			}
+		}
+		at, err = r.clearProgress(at)
+		return err == nil, at, err
+	}
+	n, at, err := r.img.RekeyObject(at, r.prog.NextObj)
+	if err != nil {
+		return false, at, err
+	}
+	r.prog.NextObj++
+	r.prog.Rekeyed += int64(n)
+	at, err = r.persist(at)
+	return false, at, err
+}
+
+// Run drives Step until the transition completes. It is the paced
+// background-walker entry point: idle virtual time between rekey IOs is
+// whatever the caller's clock does — the walker itself consumes client
+// crypto and cluster resources exactly like foreground IO, so fio
+// workloads measured concurrently see its interference.
+func (r *Rekeyer) Run(at vtime.Time) (vtime.Time, error) {
+	for {
+		done, end, err := r.Step(at)
+		if err != nil {
+			return end, err
+		}
+		at = end
+		if done {
+			return at, nil
+		}
+	}
+}
+
+// Active reports whether an image has an unfinished rekey, and its
+// cursor.
+func Active(at vtime.Time, img *core.EncryptedImage) (bool, Progress, vtime.Time, error) {
+	p, found, end, err := loadProgress(at, img)
+	return found, p, end, err
+}

@@ -390,6 +390,12 @@ func (s *Store) Get(at vtime.Time, key []byte) ([]byte, bool, vtime.Time, error)
 
 // Scan returns up to limit live pairs with lo <= key < hi (hi empty means
 // unbounded; limit <= 0 means unlimited).
+//
+// Decoding is batched: all key and value bytes land in one shared arena
+// (entries must be copied anyway — memtable-sourced slices alias live
+// store memory), so a scan costs O(1) allocations instead of two per
+// pair. The OMAP IV read path issues one ~1k-entry scan per large IO,
+// which is where those per-pair allocations used to go.
 func (s *Store) Scan(at vtime.Time, lo, hi []byte, limit int) ([]KV, vtime.Time, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -399,24 +405,38 @@ func (s *Store) Scan(at vtime.Time, lo, hi []byte, limit int) ([]KV, vtime.Time,
 	if err != nil {
 		return nil, c.at, err
 	}
-	var out []KV
+	var (
+		arena []byte
+		spans []struct{ ko, kl, vo, vl int }
+	)
 	for it.valid() {
 		e := it.entry()
 		if len(hi) > 0 && bytes.Compare(e.key, hi) >= 0 {
 			break
 		}
 		if e.kind == kindPut {
-			// Copy: memtable-sourced entries alias live store memory.
-			out = append(out, KV{
-				Key:   append([]byte(nil), e.key...),
-				Value: append([]byte(nil), e.value...),
-			})
-			if limit > 0 && len(out) >= limit {
+			ko := len(arena)
+			arena = append(arena, e.key...)
+			vo := len(arena)
+			arena = append(arena, e.value...)
+			spans = append(spans, struct{ ko, kl, vo, vl int }{ko, len(e.key), vo, len(e.value)})
+			if limit > 0 && len(spans) >= limit {
 				break
 			}
 		}
 		if err := it.next(); err != nil {
 			return nil, c.at, err
+		}
+	}
+	if len(spans) == 0 {
+		c.at = s.chargeCPU(c.at, 0, s.cfg.CPUPerEntryRead)
+		return nil, c.at, nil
+	}
+	out := make([]KV, len(spans))
+	for i, sp := range spans {
+		out[i] = KV{
+			Key:   arena[sp.ko : sp.ko+sp.kl : sp.ko+sp.kl],
+			Value: arena[sp.vo : sp.vo+sp.vl : sp.vo+sp.vl],
 		}
 	}
 	c.at = s.chargeCPU(c.at, len(out), s.cfg.CPUPerEntryRead)

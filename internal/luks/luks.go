@@ -7,6 +7,13 @@
 //     stripes encrypted with AES-XTS under the slot key,
 //   - a PBKDF2 digest of the master key lets Unlock verify a candidate.
 //
+// On top of the passphrase slots the container carries a versioned
+// master-key table: each key *epoch* is an independent random 64-byte
+// data key, wrapped under a KEK derived from the master key, so several
+// epochs coexist while an image is re-keyed online. Destroying an epoch
+// entry is crypto-erase — without the wrapped blob the epoch's data key
+// is unrecoverable even with every passphrase.
+//
 // Metadata is JSON (as in LUKS2) with binary areas carried base64-encoded,
 // so a container serializes to a single blob the virtual-disk layer stores
 // alongside the image.
@@ -36,6 +43,10 @@ const (
 	DefaultIterations = 4096
 	// MaxSlots bounds the keyslot table (8, as in LUKS).
 	MaxSlots = 8
+	// WrapIterations is the PBKDF2 cost deriving the epoch-wrapping KEK
+	// from the master key. The master key is already full-entropy, so this
+	// is domain separation, not stretching.
+	WrapIterations = 64
 )
 
 var (
@@ -45,6 +56,9 @@ var (
 	ErrNoFreeSlot = errors.New("luks: no free keyslot")
 	// ErrCorrupt reports a malformed container.
 	ErrCorrupt = errors.New("luks: corrupt container")
+	// ErrEpochUnknown reports a key epoch with no (remaining) table entry —
+	// either never created or destroyed by crypto-erase.
+	ErrEpochUnknown = errors.New("luks: unknown or destroyed key epoch")
 )
 
 // Keyslot is one passphrase binding.
@@ -56,6 +70,15 @@ type Keyslot struct {
 	Area       []byte `json:"area,omitempty"` // encrypted AF-split master key
 }
 
+// KeyEpoch is one entry of the versioned master-key table: a random
+// 64-byte data key wrapped under the master-key-derived KEK. Check lets
+// an unwrap be verified without touching data.
+type KeyEpoch struct {
+	Epoch   uint32 `json:"epoch"`
+	Wrapped []byte `json:"wrapped"`
+	Check   []byte `json:"check"`
+}
+
 // Container is the on-disk header.
 type Container struct {
 	MagicField string    `json:"magic"`
@@ -65,6 +88,14 @@ type Container struct {
 	DigestIter int       `json:"digest_iter"`
 	Digest     []byte    `json:"digest"` // PBKDF2(masterKey, DigestSalt)
 	Slots      []Keyslot `json:"slots"`
+
+	// The versioned master-key table. WrapSalt feeds the KEK derivation;
+	// Current is the epoch new writes must seal under. Containers from
+	// before the table existed have no entries: epoch 0 is then the master
+	// key itself (see EpochKey).
+	WrapSalt []byte     `json:"wrap_salt,omitempty"`
+	Current  uint32     `json:"current_epoch,omitempty"`
+	Epochs   []KeyEpoch `json:"epochs,omitempty"`
 }
 
 func randBytes(n int) ([]byte, error) {
@@ -100,6 +131,10 @@ func Format(passphrase []byte, cipherName string) (*Container, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	wsalt, err := randBytes(32)
+	if err != nil {
+		return nil, nil, err
+	}
 	c := &Container{
 		MagicField: Magic,
 		UUID:       fmt.Sprintf("%x", uuid),
@@ -108,11 +143,181 @@ func Format(passphrase []byte, cipherName string) (*Container, []byte, error) {
 		DigestIter: DefaultIterations,
 		Digest:     digestOf(masterKey, dsalt, DefaultIterations),
 		Slots:      make([]Keyslot, MaxSlots),
+		WrapSalt:   wsalt,
 	}
 	if err := c.fillSlot(0, passphrase, masterKey); err != nil {
 		return nil, nil, err
 	}
+	if _, err := c.AddEpoch(masterKey); err != nil {
+		return nil, nil, err
+	}
 	return c, masterKey, nil
+}
+
+// ---- versioned master-key (epoch) table ----
+
+// kek derives the epoch-wrapping key-encryption key from the master key.
+func (c *Container) kek(masterKey []byte) (*xts.Cipher, error) {
+	return xts.NewCipher(kdf.PBKDF2(masterKey, c.WrapSalt, WrapIterations, 64))
+}
+
+func epochCheck(c *Container, key []byte) []byte {
+	return kdf.PBKDF2(key, c.WrapSalt, WrapIterations, 16)
+}
+
+func (c *Container) findEpoch(epoch uint32) *KeyEpoch {
+	for i := range c.Epochs {
+		if c.Epochs[i].Epoch == epoch {
+			return &c.Epochs[i]
+		}
+	}
+	return nil
+}
+
+// CurrentEpoch returns the epoch new writes seal under.
+func (c *Container) CurrentEpoch() uint32 { return c.Current }
+
+// EpochIDs lists the live (non-destroyed) epochs, oldest first. A legacy
+// container without a table reports the implicit epoch 0.
+func (c *Container) EpochIDs() []uint32 {
+	if len(c.Epochs) == 0 {
+		return []uint32{0}
+	}
+	out := make([]uint32, len(c.Epochs))
+	for i, e := range c.Epochs {
+		out[i] = e.Epoch
+	}
+	return out
+}
+
+// AddEpoch mints the next key epoch: a fresh random 64-byte data key,
+// wrapped under the master-key KEK, appended to the table and made
+// current. It returns the new epoch id.
+func (c *Container) AddEpoch(masterKey []byte) (uint32, error) {
+	legacy := len(c.WrapSalt) == 0
+	if legacy {
+		// Pre-table container: create the table lazily, and materialize
+		// the implicit epoch 0 (the master key itself) as a real entry so
+		// it stays resolvable — and eventually destroyable — once other
+		// epochs exist.
+		wsalt, err := randBytes(32)
+		if err != nil {
+			return 0, err
+		}
+		c.WrapSalt = wsalt
+		ci, err := c.kek(masterKey)
+		if err != nil {
+			return 0, err
+		}
+		wrapped := make([]byte, MasterKeySize)
+		if err := ci.Encrypt(wrapped, masterKey, xts.SectorTweak(0)); err != nil {
+			return 0, err
+		}
+		c.Epochs = append(c.Epochs, KeyEpoch{Epoch: 0, Wrapped: wrapped, Check: epochCheck(c, masterKey)})
+	}
+	var next uint32
+	if legacy || len(c.Epochs) > 0 {
+		next = c.Current + 1
+	}
+	for _, e := range c.Epochs {
+		if e.Epoch >= next {
+			next = e.Epoch + 1
+		}
+	}
+	key, err := randBytes(MasterKeySize)
+	if err != nil {
+		return 0, err
+	}
+	ci, err := c.kek(masterKey)
+	if err != nil {
+		return 0, err
+	}
+	wrapped := make([]byte, MasterKeySize)
+	if err := ci.Encrypt(wrapped, key, xts.SectorTweak(uint64(next))); err != nil {
+		return 0, err
+	}
+	c.Epochs = append(c.Epochs, KeyEpoch{Epoch: next, Wrapped: wrapped, Check: epochCheck(c, key)})
+	c.Current = next
+	return next, nil
+}
+
+// RetractEpoch removes a just-minted epoch and restores the previous
+// current epoch — the in-memory rollback for a caller whose attempt to
+// persist the container after AddEpoch failed. Unlike DestroyEpoch it
+// may remove the current epoch, because the mint never became durable.
+func (c *Container) RetractEpoch(epoch, prevCurrent uint32) error {
+	for i := range c.Epochs {
+		if c.Epochs[i].Epoch == epoch {
+			clear(c.Epochs[i].Wrapped)
+			c.Epochs = append(c.Epochs[:i], c.Epochs[i+1:]...)
+			if c.Current == epoch {
+				c.Current = prevCurrent
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: epoch %d", ErrEpochUnknown, epoch)
+}
+
+// EpochKey unwraps the data key for an epoch. For a legacy container
+// without an epoch table, epoch 0 is the master key itself.
+func (c *Container) EpochKey(masterKey []byte, epoch uint32) ([]byte, error) {
+	if len(c.Epochs) == 0 && epoch == 0 {
+		return append([]byte(nil), masterKey...), nil
+	}
+	e := c.findEpoch(epoch)
+	if e == nil {
+		return nil, fmt.Errorf("%w: epoch %d", ErrEpochUnknown, epoch)
+	}
+	ci, err := c.kek(masterKey)
+	if err != nil {
+		return nil, err
+	}
+	key := make([]byte, len(e.Wrapped))
+	if err := ci.Decrypt(key, e.Wrapped, xts.SectorTweak(uint64(epoch))); err != nil {
+		return nil, err
+	}
+	if subtle.ConstantTimeCompare(epochCheck(c, key), e.Check) != 1 {
+		return nil, fmt.Errorf("%w: epoch %d check failed", ErrCorrupt, epoch)
+	}
+	return key, nil
+}
+
+// RemoveEpoch takes an epoch's entry out of the table and returns it
+// intact, so a caller that persists the container afterwards can
+// Reinstate it if the persist fails — without this two-phase shape, a
+// failed persist would leave the erase claimed in memory but absent on
+// disk. The current epoch cannot be removed.
+func (c *Container) RemoveEpoch(epoch uint32) (KeyEpoch, error) {
+	if epoch == c.Current {
+		return KeyEpoch{}, fmt.Errorf("luks: cannot destroy current epoch %d", epoch)
+	}
+	for i := range c.Epochs {
+		if c.Epochs[i].Epoch == epoch {
+			e := c.Epochs[i]
+			c.Epochs = append(c.Epochs[:i], c.Epochs[i+1:]...)
+			return e, nil
+		}
+	}
+	return KeyEpoch{}, fmt.Errorf("%w: epoch %d", ErrEpochUnknown, epoch)
+}
+
+// ReinstateEpoch restores an entry taken by RemoveEpoch.
+func (c *Container) ReinstateEpoch(e KeyEpoch) {
+	c.Epochs = append(c.Epochs, e)
+}
+
+// DestroyEpoch removes an epoch's wrapped key from the table and scrubs
+// it — the fire-and-forget crypto-erase primitive: every block still
+// sealed under that epoch becomes unrecoverable. The current epoch
+// cannot be destroyed.
+func (c *Container) DestroyEpoch(epoch uint32) error {
+	e, err := c.RemoveEpoch(epoch)
+	if err != nil {
+		return err
+	}
+	clear(e.Wrapped)
+	return nil
 }
 
 func (c *Container) fillSlot(idx int, passphrase, masterKey []byte) error {

@@ -135,3 +135,206 @@ func TestDistinctMasterKeys(t *testing.T) {
 		t.Fatal("master keys must be random")
 	}
 }
+
+// Wrong passphrase must fail against a container with MANY populated
+// slots (the unlock loop tries — and must reject — every one of them).
+func TestWrongPassphraseAcrossPopulatedSlots(t *testing.T) {
+	c, _, err := Format([]byte("p0"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < MaxSlots; i++ {
+		if _, err := c.AddKey([]byte("p0"), []byte{'q', byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(c.ActiveSlots()); got != MaxSlots {
+		t.Fatalf("active slots %d", got)
+	}
+	if _, err := c.Unlock([]byte("not-a-passphrase")); !errors.Is(err, ErrPassphrase) {
+		t.Fatalf("got %v", err)
+	}
+	// Every real passphrase still unlocks.
+	for i := 1; i < MaxSlots; i++ {
+		if _, err := c.Unlock([]byte{'q', byte(i)}); err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+}
+
+// Add/remove round-trips: freed slots are reusable, and reuse works
+// after a marshal round-trip now that the container carries an epoch
+// table alongside the slots.
+func TestAddRemoveRoundTripWithEpochTable(t *testing.T) {
+	c, mk, err := Format([]byte("p0"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		idx, err := c.AddKey([]byte("p0"), []byte("extra"))
+		if err != nil {
+			t.Fatalf("round %d add: %v", round, err)
+		}
+		blob, err := c.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err = Unmarshal(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := c.Unlock([]byte("extra")); err != nil || !bytes.Equal(got, mk) {
+			t.Fatalf("round %d unlock: %v", round, err)
+		}
+		if err := c.RemoveKey(idx); err != nil {
+			t.Fatalf("round %d remove: %v", round, err)
+		}
+		if _, err := c.Unlock([]byte("extra")); !errors.Is(err, ErrPassphrase) {
+			t.Fatalf("round %d removed passphrase still unlocks: %v", round, err)
+		}
+	}
+}
+
+func TestSlotExhaustionSurvivesRemove(t *testing.T) {
+	c, _, err := Format([]byte("p0"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < MaxSlots; i++ {
+		if _, err := c.AddKey([]byte("p0"), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.AddKey([]byte("p0"), []byte("x")); !errors.Is(err, ErrNoFreeSlot) {
+		t.Fatalf("got %v", err)
+	}
+	// Freeing any slot makes room again — in that exact slot.
+	if err := c.RemoveKey(3); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.AddKey([]byte("p0"), []byte("fresh"))
+	if err != nil || idx != 3 {
+		t.Fatalf("reuse: idx=%d err=%v", idx, err)
+	}
+	if _, err := c.AddKey([]byte("p0"), []byte("y")); !errors.Is(err, ErrNoFreeSlot) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// ---- epoch table ----
+
+func TestEpochLifecycle(t *testing.T) {
+	c, mk, err := Format([]byte("p"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CurrentEpoch() != 0 {
+		t.Fatalf("fresh container current epoch %d", c.CurrentEpoch())
+	}
+	k0, err := c.EpochKey(mk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(k0, mk) {
+		t.Fatal("epoch key must be independent of the master key")
+	}
+
+	e1, err := c.AddEpoch(mk)
+	if err != nil || e1 != 1 {
+		t.Fatalf("AddEpoch: %d %v", e1, err)
+	}
+	if c.CurrentEpoch() != 1 {
+		t.Fatalf("current %d", c.CurrentEpoch())
+	}
+	k1, err := c.EpochKey(mk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(k0, k1) {
+		t.Fatal("epoch keys must be distinct")
+	}
+
+	// Keys survive a marshal round-trip.
+	blob, _ := c.Marshal()
+	c2, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk2, err := c2.Unlock([]byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c2.EpochKey(mk2, 0); err != nil || !bytes.Equal(got, k0) {
+		t.Fatalf("epoch 0 after round trip: %v", err)
+	}
+
+	// Crypto-erase: destroy epoch 0 and the key is gone for good.
+	if err := c2.DestroyEpoch(1); err == nil {
+		t.Fatal("destroying the current epoch must fail")
+	}
+	if err := c2.DestroyEpoch(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.EpochKey(mk2, 0); !errors.Is(err, ErrEpochUnknown) {
+		t.Fatalf("destroyed epoch still unwraps: %v", err)
+	}
+	if err := c2.DestroyEpoch(0); !errors.Is(err, ErrEpochUnknown) {
+		t.Fatalf("double destroy: %v", err)
+	}
+	if got := c2.EpochIDs(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("epoch ids %v", got)
+	}
+	// Epoch numbering never reuses a destroyed id.
+	e2, err := c2.AddEpoch(mk2)
+	if err != nil || e2 != 2 {
+		t.Fatalf("AddEpoch after destroy: %d %v", e2, err)
+	}
+}
+
+func TestEpochKeyWrongMasterKeyRejected(t *testing.T) {
+	c, mk, err := Format([]byte("p"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), mk...)
+	bad[0] ^= 1
+	if _, err := c.EpochKey(bad, 0); err == nil {
+		t.Fatal("wrong master key unwrapped an epoch")
+	}
+}
+
+func TestLegacyContainerImplicitEpochZero(t *testing.T) {
+	c, mk, err := Format([]byte("p"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a pre-epoch-table container.
+	c.Epochs, c.WrapSalt, c.Current = nil, nil, 0
+	k, err := c.EpochKey(mk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k, mk) {
+		t.Fatal("legacy epoch 0 must be the master key")
+	}
+	if got := c.EpochIDs(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("epoch ids %v", got)
+	}
+	// AddEpoch lazily creates the table — and materializes the implicit
+	// epoch 0 so it remains resolvable (and destroyable) afterwards.
+	if e, err := c.AddEpoch(mk); err != nil || e != 1 {
+		t.Fatalf("lazy AddEpoch: %d %v", e, err)
+	}
+	if got := c.EpochIDs(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("epoch ids after lazy table creation %v", got)
+	}
+	if k0, err := c.EpochKey(mk, 0); err != nil || !bytes.Equal(k0, mk) {
+		t.Fatalf("implicit epoch 0 lost by lazy table creation: %v", err)
+	}
+	if err := c.DestroyEpoch(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EpochKey(mk, 0); !errors.Is(err, ErrEpochUnknown) {
+		t.Fatalf("destroyed legacy epoch still unwraps: %v", err)
+	}
+}

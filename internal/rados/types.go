@@ -259,20 +259,51 @@ func (r *wireReader) bytes() []byte {
 
 func (r *wireReader) str() string { return string(r.bytes()) }
 
+// pairs decodes a pair vector with batched allocation: a first pass over
+// the wire bytes sums the payload lengths, then every key and value is
+// copied into one shared arena. OMAP-heavy replies (the per-block IV
+// reads of the omap layout) used to pay two allocations per pair here;
+// now a reply costs two regardless of pair count.
 func (r *wireReader) pairs() []Pair {
 	n := int(r.u32())
 	if r.err != nil || n < 0 || n > len(r.buf) {
 		r.fail()
 		return nil
 	}
-	ps := make([]Pair, 0, n)
+	if n == 0 {
+		return nil
+	}
+	// Pass 1: measure.
+	save := r.off
+	total := 0
 	for i := 0; i < n; i++ {
-		k := r.bytes()
-		v := r.bytes()
-		if r.err != nil {
-			return nil
+		for j := 0; j < 2; j++ {
+			l := int(r.u32())
+			if r.err != nil || l < 0 || r.off+l > len(r.buf) {
+				r.fail()
+				return nil
+			}
+			r.off += l
+			total += l
 		}
-		ps = append(ps, Pair{Key: k, Value: v})
+	}
+	// Pass 2: decode into the arena.
+	r.off = save
+	arena := make([]byte, 0, total)
+	ps := make([]Pair, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 2; j++ {
+			l := int(r.u32())
+			ko := len(arena)
+			arena = append(arena, r.buf[r.off:r.off+l]...)
+			r.off += l
+			s := arena[ko:len(arena):len(arena)]
+			if j == 0 {
+				ps[i].Key = s
+			} else {
+				ps[i].Value = s
+			}
+		}
 	}
 	return ps
 }

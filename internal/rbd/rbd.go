@@ -211,6 +211,13 @@ func (img *Image) Operate(at vtime.Time, objIdx int64, snapID uint64, ops []rado
 	return img.client.Operate(at, img.pool, img.ObjectName(objIdx), img.SnapContext(), snapID, ops)
 }
 
+// OperateHeader issues ops against the image's header object. The
+// key-lifecycle subsystem keeps its rekey progress records in the header
+// OMAP, next to the snapshot table and the encryption container.
+func (img *Image) OperateHeader(at vtime.Time, ops []rados.Op) ([]rados.Result, vtime.Time, error) {
+	return img.client.Operate(at, img.pool, headerObject(img.name), rados.SnapContext{}, 0, ops)
+}
+
 // Extent is one object-aligned piece of an image IO.
 type Extent struct {
 	ObjIdx int64 // object index

@@ -13,6 +13,11 @@
 // layouts, a dm-crypt+dm-integrity comparator, an fio-style workload
 // engine, and a benchmark harness regenerating every figure.
 //
+// Beyond the paper's figures, the per-block metadata also carries a
+// key-epoch tag, unlocking the key-lifecycle workloads length-preserving
+// encryption cannot offer: online re-keying under live IO
+// (internal/keymgr) and crypto-erase discard (EncryptedImage.Discard).
+//
 // This root package is a convenience facade over the internal packages:
 //
 //	cluster, _ := repro.NewCluster(repro.TestClusterConfig())
@@ -22,13 +27,15 @@
 //	    repro.Options{Scheme: repro.SchemeXTSRand, Layout: repro.LayoutObjectEnd})
 //	img.WriteAt(0, data, 0)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured results.
+// See DESIGN.md for the system inventory (including which substitutions
+// stand in for unavailable external pieces); README.md walks through the
+// paper-vs-measured benchmark harness.
 package repro
 
 import (
 	"repro/internal/core"
 	"repro/internal/fio"
+	"repro/internal/keymgr"
 	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/vtime"
@@ -58,6 +65,10 @@ type (
 	WorkloadSpec = fio.Spec
 	// WorkloadResult is a workload measurement.
 	WorkloadResult = fio.Result
+	// Rekeyer drives an online key rotation (see internal/keymgr).
+	Rekeyer = keymgr.Rekeyer
+	// RekeyProgress is the persisted rekey cursor.
+	RekeyProgress = keymgr.Progress
 )
 
 // Schemes and layouts.
@@ -126,7 +137,23 @@ func OpenEncryptedImage(client *Client, pool, name string, passphrase []byte) (*
 }
 
 // RunWorkload executes an fio-style workload against any virtual-time
-// block target (an EncryptedImage satisfies fio.Target).
+// block target (an EncryptedImage satisfies fio.Target, and — for
+// discard mixes — fio.Discarder).
 func RunWorkload(spec WorkloadSpec, target fio.Target, start Time) (WorkloadResult, error) {
 	return fio.Run(spec, target, start)
+}
+
+// StartRekey begins an online key rotation on an encrypted image: a new
+// key epoch is minted and a resumable background walk re-seals existing
+// blocks while the image keeps serving IO. Drive it with Run (or Step).
+func StartRekey(img *EncryptedImage) (*Rekeyer, error) {
+	r, _, err := keymgr.Start(0, img)
+	return r, err
+}
+
+// ResumeRekey reattaches to an interrupted key rotation after a client
+// restart or crash.
+func ResumeRekey(img *EncryptedImage) (*Rekeyer, error) {
+	r, _, err := keymgr.Resume(0, img)
+	return r, err
 }
