@@ -1,0 +1,229 @@
+// Command benchgate is the CI benchmark-regression gate: it compares two
+// `go test -bench` outputs (merge-base vs PR head), fails on a >15%
+// median time regression or any allocs/op regression on a benchmark
+// present in both, and writes the comparison as JSON (the BENCH_pr.json
+// artifact that records the perf trajectory PR over PR).
+//
+// Usage:
+//
+//	benchgate -base base.txt -head head.txt -out BENCH_pr.json [-time-threshold 1.15]
+//
+// Run the benchmarks with -count >= 3 so the medians mean something;
+// benchstat remains the human-readable companion view.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// run is one benchmark result line.
+type run struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasMem      bool
+}
+
+// benchLine matches `BenchmarkName-8  100  123 ns/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func parseFile(path string) (map[string][]run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]run)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], strings.Fields(m[2])
+		var r run
+		ok := false
+		for i := 0; i+1 < len(rest); i++ {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				continue
+			}
+			switch rest[i+1] {
+			case "ns/op":
+				r.nsPerOp, ok = v, true
+			case "B/op":
+				r.bytesPerOp, r.hasMem = v, true
+			case "allocs/op":
+				r.allocsPerOp, r.hasMem = v, true
+			}
+		}
+		if ok {
+			out[name] = append(out[name], r)
+		}
+	}
+	return out, sc.Err()
+}
+
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func summarize(runs []run) (ns, bytes, allocs float64, hasMem bool) {
+	var nsV, bV, aV []float64
+	for _, r := range runs {
+		nsV = append(nsV, r.nsPerOp)
+		if r.hasMem {
+			hasMem = true
+			bV = append(bV, r.bytesPerOp)
+			aV = append(aV, r.allocsPerOp)
+		}
+	}
+	return median(nsV), median(bV), median(aV), hasMem
+}
+
+// entry is one benchmark's comparison in the JSON artifact.
+type entry struct {
+	Name        string  `json:"name"`
+	BaseNsOp    float64 `json:"base_ns_op,omitempty"`
+	HeadNsOp    float64 `json:"head_ns_op"`
+	TimeRatio   float64 `json:"time_ratio,omitempty"`
+	BaseAllocs  float64 `json:"base_allocs_op,omitempty"`
+	HeadAllocs  float64 `json:"head_allocs_op,omitempty"`
+	HeadBytesOp float64 `json:"head_bytes_op,omitempty"`
+	Status      string  `json:"status"` // ok | regressed | new | removed
+	Detail      string  `json:"detail,omitempty"`
+}
+
+type report struct {
+	TimeThreshold float64 `json:"time_threshold"`
+	Failures      int     `json:"failures"`
+	Benchmarks    []entry `json:"benchmarks"`
+}
+
+func main() {
+	basePath := flag.String("base", "", "bench output of the merge base")
+	headPath := flag.String("head", "", "bench output of the PR head")
+	outPath := flag.String("out", "", "JSON artifact path (optional)")
+	timeThreshold := flag.Float64("time-threshold", 1.15, "fail when head/base ns/op exceeds this")
+	allocSlack := flag.Float64("alloc-slack", 0.5, "absolute allocs/op increase tolerated before failing")
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
+		os.Exit(2)
+	}
+
+	base, err := parseFile(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	head, err := parseFile(*headPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(head) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmarks parsed from head — wrong -bench pattern?")
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(head))
+	for name := range head {
+		names = append(names, name)
+	}
+	for name := range base {
+		if _, ok := head[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	rep := report{TimeThreshold: *timeThreshold}
+	for _, name := range names {
+		hRuns, inHead := head[name]
+		bRuns, inBase := base[name]
+		e := entry{Name: name}
+		switch {
+		case !inHead:
+			bNs, _, bAllocs, _ := summarize(bRuns)
+			e.BaseNsOp, e.BaseAllocs, e.Status = bNs, bAllocs, "removed"
+			e.Detail = "benchmark disappeared from head (rename or deletion?)"
+		case !inBase:
+			hNs, hBytes, hAllocs, _ := summarize(hRuns)
+			e.HeadNsOp, e.HeadBytesOp, e.HeadAllocs, e.Status = hNs, hBytes, hAllocs, "new"
+		default:
+			hNs, hBytes, hAllocs, hMem := summarize(hRuns)
+			bNs, _, bAllocs, bMem := summarize(bRuns)
+			e.BaseNsOp, e.HeadNsOp = bNs, hNs
+			e.HeadBytesOp = hBytes
+			e.BaseAllocs, e.HeadAllocs = bAllocs, hAllocs
+			if bNs > 0 {
+				e.TimeRatio = hNs / bNs
+			}
+			e.Status = "ok"
+			var problems []string
+			if bNs > 0 && e.TimeRatio > *timeThreshold {
+				problems = append(problems, fmt.Sprintf("time %.0f -> %.0f ns/op (%.2fx > %.2fx)",
+					bNs, hNs, e.TimeRatio, *timeThreshold))
+			}
+			if hMem && bMem && hAllocs > bAllocs+*allocSlack {
+				problems = append(problems, fmt.Sprintf("allocs %.1f -> %.1f /op", bAllocs, hAllocs))
+			}
+			if len(problems) > 0 {
+				e.Status = "regressed"
+				e.Detail = strings.Join(problems, "; ")
+				rep.Failures++
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+
+	for _, e := range rep.Benchmarks {
+		switch e.Status {
+		case "regressed":
+			fmt.Printf("FAIL %-60s %s\n", e.Name, e.Detail)
+		case "new":
+			fmt.Printf("new  %-60s %.0f ns/op, %.1f allocs/op\n", e.Name, e.HeadNsOp, e.HeadAllocs)
+		case "removed":
+			fmt.Printf("gone %-60s %s\n", e.Name, e.Detail)
+		default:
+			fmt.Printf("ok   %-60s %.2fx, allocs %.1f -> %.1f\n", e.Name, e.TimeRatio, e.BaseAllocs, e.HeadAllocs)
+		}
+	}
+
+	if *outPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+
+	if rep.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed\n", rep.Failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: no regressions")
+}

@@ -1,0 +1,74 @@
+// Package bufpool serves scratch byte buffers from size-classed
+// sync.Pools (power-of-two capacity classes from 4 KiB up). It backs
+// every transient wire, metadata and cipher-scratch buffer on the IO hot
+// path — the seal/open pipeline in internal/core, the scatter-gather
+// marshal headers in internal/rados — so the steady state performs no
+// per-IO heap allocations for payload-sized memory.
+//
+// Requests above the largest class fall back to plain allocation, and
+// buffers with capacities that are not an exact class size are dropped
+// on Put, so mixing pooled and plain buffers is always safe. Callers
+// must not retain any view into a buffer after returning it.
+package bufpool
+
+import "sync"
+
+const (
+	// minShift is the smallest class: 4 KiB, one encryption block.
+	minShift = 12
+	// numClasses spans classes up to 16 MiB: the largest extent plus its
+	// metadata region.
+	numClasses = 13
+)
+
+var classes [numClasses]sync.Pool
+
+// class returns the smallest class whose capacity holds n bytes, or -1
+// when n is too large to pool.
+func class(n int) int {
+	c := 0
+	for n > 1<<(minShift+c) {
+		c++
+		if c >= numClasses {
+			return -1
+		}
+	}
+	return c
+}
+
+// Get returns a length-n byte slice with unspecified contents.
+func Get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	c := class(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if v := classes[c].Get(); v != nil {
+		return (*v.(*[]byte))[:n]
+	}
+	return make([]byte, n, 1<<(minShift+c))
+}
+
+// GetZero returns a length-n zeroed byte slice.
+func GetZero(n int) []byte {
+	b := Get(n)
+	clear(b)
+	return b
+}
+
+// Put recycles a buffer obtained from Get. The caller must not retain
+// any view into b afterwards. Buffers that did not come from the pool
+// (odd capacities) are silently dropped.
+func Put(b []byte) {
+	if cap(b) < 1<<minShift {
+		return
+	}
+	c := class(cap(b))
+	if c < 0 || 1<<(minShift+c) != cap(b) {
+		return // odd capacity (not pool-born); drop it
+	}
+	b = b[:cap(b)]
+	classes[c].Put(&b)
+}

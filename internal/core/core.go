@@ -393,8 +393,11 @@ func (e *EncryptedImage) writeAtEpoch(at vtime.Time, p []byte, off int64) (vtime
 
 	at = e.chargeCrypto(at, int64(len(p)))
 
-	// Fan out per-object transactions. Operate marshals payloads before
-	// returning, so the plans can be released once every call is back.
+	// Fan out per-object transactions. The transport fully consumes the
+	// plan buffers before Operate returns — the typed in-process path
+	// hands them to the OSD, which copies what it persists; the byte
+	// codec encodes them — so the plans can be released once every call
+	// is back.
 	// Writers hold the object lock shared (metadata schemes) so the rekey
 	// walker's read-modify-write cannot interleave, or exclusive
 	// (metadata-free) around the allocation-sidecar update.
@@ -496,12 +499,18 @@ func (e *EncryptedImage) readAtSnapOnce(at vtime.Time, p []byte, off int64, snap
 	liveAtFetch := e.ring.epochs()
 
 	// Phase 1: fetch ciphertext+metadata for every extent into pooled
-	// buffers, concurrently across objects.
+	// buffers, concurrently across objects. The buffers are allocated
+	// up front and handed to the read ops as destinations, so on the
+	// in-process fast path the OSD fills them directly — a fetched block
+	// crosses the wire with zero intermediate copies. (LayoutUnaligned
+	// reads its stride-interleaved stream into a separate raw buffer
+	// that parseReadInto de-strides.)
 	type extRead struct {
 		cipher  []byte
 		metas   []byte
 		present []byte // 0/1 per block, pooled like the data buffers
 		epochs  []byte // key-epoch tag per block (little-endian uint32)
+		raw     []byte // strided read destination (LayoutUnaligned only)
 	}
 	bufs := make([]extRead, len(exts))
 	release := func() {
@@ -510,20 +519,26 @@ func (e *EncryptedImage) readAtSnapOnce(at vtime.Time, p []byte, off int64, snap
 			putBuf(bufs[i].metas)
 			putBuf(bufs[i].present)
 			putBuf(bufs[i].epochs)
+			putBuf(bufs[i].raw)
 		}
 	}
 	fetchOne := func(i int) (vtime.Time, error) {
 		ext := exts[i]
 		startBlock := ext.ObjOff / bs
 		nb := ext.Length / bs
-		res, end, err := e.img.Operate(at, ext.ObjIdx, snapID, e.plan.readOps(startBlock, nb))
-		if err != nil {
-			return at, err
-		}
 		bufs[i].cipher = getBuf(int(nb * bs))
 		bufs[i].metas = getBuf(int(nb * metaLen))
 		bufs[i].present = getBuf(int(nb))
 		bufs[i].epochs = getBuf(int(nb * epochLen))
+		raw := bufs[i].cipher
+		if e.plan.layout == LayoutUnaligned {
+			bufs[i].raw = getBuf(int(e.plan.rawReadLen(nb)))
+			raw = bufs[i].raw
+		}
+		res, end, err := e.img.Operate(at, ext.ObjIdx, snapID, e.plan.readOpsInto(startBlock, nb, raw, bufs[i].metas))
+		if err != nil {
+			return at, err
+		}
 		if err := e.plan.parseReadInto(startBlock, nb, res, bufs[i].cipher, bufs[i].metas, bufs[i].present, bufs[i].epochs); err != nil {
 			return at, err
 		}
@@ -767,19 +782,27 @@ func (e *EncryptedImage) RekeyObject(at vtime.Time, objIdx int64) (int, vtime.Ti
 		return 0, at, fmt.Errorf("core: epoch advanced to %d during rekey toward %d", cur, target)
 	}
 
-	res, end, err := e.img.Operate(at, objIdx, 0, e.plan.readOps(0, nb))
-	if err != nil {
-		return 0, at, err
-	}
 	cipher := getBuf(int(nb * bs))
 	metas := getBuf(int(nb * metaLen))
 	present := getBuf(int(nb))
 	epochs := getBuf(int(nb * epochLen))
+	raw := cipher
+	var rawStride []byte
+	if e.plan.layout == LayoutUnaligned {
+		rawStride = getBuf(int(e.plan.rawReadLen(nb)))
+		raw = rawStride
+	}
 	release := func() {
 		putBuf(cipher)
 		putBuf(metas)
 		putBuf(present)
 		putBuf(epochs)
+		putBuf(rawStride)
+	}
+	res, end, err := e.img.Operate(at, objIdx, 0, e.plan.readOpsInto(0, nb, raw, metas))
+	if err != nil {
+		release()
+		return 0, at, err
 	}
 	if err := e.plan.parseReadInto(0, nb, res, cipher, metas, present, epochs); err != nil {
 		release()

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/rbd"
 	"repro/internal/vtime"
 )
@@ -36,68 +37,17 @@ func maxParallelism() int {
 
 // ---- scratch buffer pool ----
 
-// Buffers are served from size-classed sync.Pools (power-of-two capacity
-// classes from 4 KiB up). Requests above the largest class fall back to
-// plain allocation. It is safe — and required for the zero-alloc steady
-// state — that callers return buffers with putBuf when the wire bytes
-// have been marshaled (rados.Request.Marshal copies payloads before the
-// transport sees them, so release-after-Operate is sound).
+// Buffers come from the shared internal/bufpool size-classed pool, which
+// the RADOS wire layer draws from as well. It is safe — and required for
+// the zero-alloc steady state — that callers return buffers with putBuf
+// once no wire op references them: Operate on the in-process fast path
+// hands the buffers to the OSD, which copies what it persists before
+// returning, and on the byte codec path the transport consumes them
+// before Call returns, so release-after-Operate is sound either way.
 
-const (
-	minBufShift   = 12 // 4 KiB: one encryption block
-	numBufClasses = 13 // ... up to 16 MiB: largest extent + metadata
-)
-
-var bufClasses [numBufClasses]sync.Pool
-
-// bufClass returns the smallest class whose capacity holds n bytes, or
-// -1 when n is too large to pool.
-func bufClass(n int) int {
-	c := 0
-	for n > 1<<(minBufShift+c) {
-		c++
-		if c >= numBufClasses {
-			return -1
-		}
-	}
-	return c
-}
-
-// getBuf returns a length-n byte slice with unspecified contents.
-func getBuf(n int) []byte {
-	if n <= 0 {
-		return nil
-	}
-	c := bufClass(n)
-	if c < 0 {
-		return make([]byte, n)
-	}
-	if v := bufClasses[c].Get(); v != nil {
-		return (*v.(*[]byte))[:n]
-	}
-	return make([]byte, n, 1<<(minBufShift+c))
-}
-
-// getZeroBuf returns a length-n zeroed byte slice.
-func getZeroBuf(n int) []byte {
-	b := getBuf(n)
-	clear(b)
-	return b
-}
-
-// putBuf recycles a buffer obtained from getBuf. The caller must not
-// retain any view into b afterwards.
-func putBuf(b []byte) {
-	if cap(b) < 1<<minBufShift {
-		return
-	}
-	c := bufClass(cap(b))
-	if c < 0 || 1<<(minBufShift+c) != cap(b) {
-		return // odd capacity (not pool-born); drop it
-	}
-	b = b[:cap(b)]
-	bufClasses[c].Put(&b)
-}
+func getBuf(n int) []byte     { return bufpool.Get(n) }
+func getZeroBuf(n int) []byte { return bufpool.GetZero(n) }
+func putBuf(b []byte)         { bufpool.Put(b) }
 
 // ---- worker pool ----
 

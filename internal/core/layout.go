@@ -57,11 +57,19 @@ func ParseLayout(s string) (Layout, error) {
 // omapIVPrefix namespaces IV entries in the object OMAP.
 const omapIVPrefix = "iv."
 
+// omapKeyLen is the encoded size of one OMAP IV key.
+const omapKeyLen = len(omapIVPrefix) + 8
+
 func omapIVKey(block int64) []byte {
-	k := make([]byte, len(omapIVPrefix)+8)
+	k := make([]byte, omapKeyLen)
+	omapIVKeyInto(k, block)
+	return k
+}
+
+// omapIVKeyInto renders the IV key for block into k (omapKeyLen bytes).
+func omapIVKeyInto(k []byte, block int64) {
 	copy(k, omapIVPrefix)
 	binary.BigEndian.PutUint64(k[len(omapIVPrefix):], uint64(block))
-	return k
 }
 
 // planner turns an object-relative block run plus its ciphertext and
@@ -116,6 +124,7 @@ type writePlan struct {
 	nb    int64
 	wire  []byte // data region; stride-interleaved under LayoutUnaligned
 	meta  []byte // separate metadata region (object-end, OMAP); nil otherwise
+	keys  []byte // OMAP IV key arena (one pooled buffer for all keys)
 }
 
 // newWritePlan allocates pooled wire buffers for nb blocks at startBlock.
@@ -128,6 +137,11 @@ func (p *planner) newWritePlan(startBlock, nb int64) *writePlan {
 		w.wire = getBuf(int(nb * p.blockSize))
 		if p.metaLen > 0 {
 			w.meta = getBuf(int(nb * p.metaLen))
+		}
+		if p.layout == LayoutOMAP {
+			// All of the plan's OMAP keys share one arena: a large OMAP
+			// write used to allocate one small key per block here.
+			w.keys = getBuf(int(nb) * omapKeyLen)
 		}
 	}
 	return w
@@ -180,8 +194,10 @@ func (w *writePlan) ops() []rados.Op {
 	case LayoutOMAP:
 		pairs := make([]rados.Pair, w.nb)
 		for b := int64(0); b < w.nb; b++ {
+			k := w.keys[b*int64(omapKeyLen) : (b+1)*int64(omapKeyLen) : (b+1)*int64(omapKeyLen)]
+			omapIVKeyInto(k, w.start+b)
 			pairs[b] = rados.Pair{
-				Key:   omapIVKey(w.start + b),
+				Key:   k,
 				Value: w.meta[b*p.metaLen : (b+1)*p.metaLen],
 			}
 		}
@@ -200,7 +216,10 @@ func (w *writePlan) release() {
 	if w.meta != nil {
 		putBuf(w.meta)
 	}
-	w.wire, w.meta = nil, nil
+	if w.keys != nil {
+		putBuf(w.keys)
+	}
+	w.wire, w.meta, w.keys = nil, nil, nil
 }
 
 // readOps builds the op vector fetching blocks [startBlock, startBlock+nb)
@@ -209,29 +228,49 @@ func (w *writePlan) release() {
 // (sparse) block runs from legitimately written ones, replacing the old
 // all-zero-ciphertext sniffing that misread Decrypt(0) blocks as holes.
 func (p *planner) readOps(startBlock, nb int64) []rados.Op {
+	return p.readOpsInto(startBlock, nb, nil, nil)
+}
+
+// rawReadLen is the size of the raw data-read destination for nb blocks:
+// the stride-interleaved stream under LayoutUnaligned, the plain
+// ciphertext run otherwise.
+func (p *planner) rawReadLen(nb int64) int64 {
+	if p.layout == LayoutUnaligned {
+		return nb * (p.blockSize + p.metaLen)
+	}
+	return nb * p.blockSize
+}
+
+// readOpsInto is readOps with destination plumbing for the in-process
+// fast path: raw (rawReadLen bytes), when non-nil, receives the data
+// read, and metas (nb*metaLen bytes) the object-end metadata read, so
+// fetched bytes land straight in the caller's pooled buffers. Over the
+// byte codec the destinations are ignored and the server allocates as
+// before; parseReadInto handles both outcomes.
+func (p *planner) readOpsInto(startBlock, nb int64, raw, metas []byte) []rados.Op {
 	stat := rados.Op{Kind: rados.OpStat}
 	switch p.layout {
 	case LayoutNone:
 		return []rados.Op{
-			{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize},
+			{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize, Dst: raw},
 			{Kind: rados.OpGetAttr, Key: []byte(allocAttr)},
 			stat,
 		}
 
 	case LayoutUnaligned:
 		stride := p.blockSize + p.metaLen
-		return []rados.Op{{Kind: rados.OpRead, Off: startBlock * stride, Len: nb * stride}, stat}
+		return []rados.Op{{Kind: rados.OpRead, Off: startBlock * stride, Len: nb * stride, Dst: raw}, stat}
 
 	case LayoutObjectEnd:
 		return []rados.Op{
-			{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize},
-			{Kind: rados.OpRead, Off: p.objectSize + startBlock*p.metaLen, Len: nb * p.metaLen},
+			{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize, Dst: raw},
+			{Kind: rados.OpRead, Off: p.objectSize + startBlock*p.metaLen, Len: nb * p.metaLen, Dst: metas},
 			stat,
 		}
 
 	case LayoutOMAP:
 		return []rados.Op{
-			{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize},
+			{Kind: rados.OpRead, Off: startBlock * p.blockSize, Len: nb * p.blockSize, Dst: raw},
 			{Kind: rados.OpOmapGetRange, Key: omapIVKey(startBlock), Key2: omapIVKey(startBlock + nb)},
 			stat,
 		}
@@ -244,6 +283,24 @@ func boolByte(b bool) byte {
 		return 1
 	}
 	return 0
+}
+
+// sameBacking reports whether two slices share a backing array start —
+// the Dst fast path, where a read result already IS the destination.
+func sameBacking(a, b []byte) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// fillFrom lands src in dst: a plain copy normally, a no-op when the
+// result already aliases the destination (in-process reads into Dst).
+// Any destination tail beyond src is zeroed either way.
+func fillFrom(dst, src []byte) {
+	if sameBacking(dst, src) {
+		clear(dst[len(src):])
+		return
+	}
+	n := copy(dst, src)
+	clear(dst[n:])
 }
 
 // parseRead extracts ciphertext and metadata from read results and
@@ -287,14 +344,16 @@ func (p *planner) parseRead(startBlock, nb int64, res []rados.Result) (cipher, m
 // ciphertext happens to be all zeros (plaintext Decrypt(0)) is present
 // and decrypts normally.
 func (p *planner) parseReadInto(startBlock, nb int64, res []rados.Result, cipher, metas, present, epochs []byte) error {
-	clear(cipher[:nb*p.blockSize])
-	clear(metas[:nb*p.metaLen])
 	clear(present[:nb])
 	if epochs != nil {
 		clear(epochs[:nb*epochLen])
 	}
 
 	if res[0].Status == rados.StatusNotFound {
+		// The destinations may hold stale pool contents (an in-process
+		// read into Dst never reached the store); make the hole explicit.
+		clear(cipher[:nb*p.blockSize])
+		clear(metas[:nb*p.metaLen])
 		return nil
 	}
 	if err := res[0].Status.Err(); err != nil {
@@ -325,7 +384,7 @@ func (p *planner) parseReadInto(startBlock, nb int64, res []rados.Result, cipher
 		if len(res) != 3 {
 			return fmt.Errorf("core: metadata-free read returned %d results", len(res))
 		}
-		copy(cipher, res[0].Data)
+		fillFrom(cipher[:nb*p.blockSize], res[0].Data)
 		if res[1].Status == rados.StatusOK {
 			a, err := decodeObjAlloc(res[1].Data, p.objBlocks())
 			if err != nil {
@@ -350,6 +409,10 @@ func (p *planner) parseReadInto(startBlock, nb int64, res []rados.Result, cipher
 		return nil
 
 	case LayoutUnaligned:
+		// The raw read is stride-interleaved and lands in its own buffer;
+		// cipher and metas are always de-strided copies.
+		clear(cipher[:nb*p.blockSize])
+		clear(metas[:nb*p.metaLen])
 		stride := p.blockSize + p.metaLen
 		data := res[0].Data
 		for b := int64(0); b < nb; b++ {
@@ -370,8 +433,8 @@ func (p *planner) parseReadInto(startBlock, nb int64, res []rados.Result, cipher
 		if err := res[1].Status.Err(); err != nil {
 			return err
 		}
-		copy(cipher, res[0].Data)
-		copy(metas, res[1].Data)
+		fillFrom(cipher[:nb*p.blockSize], res[0].Data)
+		fillFrom(metas[:nb*p.metaLen], res[1].Data)
 		for b := int64(0); b < nb; b++ {
 			present[b] = boolByte(p.objectSize+(startBlock+b+1)*p.metaLen <= size &&
 				!allZero(metas[b*p.metaLen:(b+1)*p.metaLen]))
@@ -386,7 +449,8 @@ func (p *planner) parseReadInto(startBlock, nb int64, res []rados.Result, cipher
 		if err := res[1].Status.Err(); err != nil {
 			return err
 		}
-		copy(cipher, res[0].Data)
+		fillFrom(cipher[:nb*p.blockSize], res[0].Data)
+		clear(metas[:nb*p.metaLen])
 		for _, pair := range res[1].Pairs {
 			if len(pair.Key) != len(omapIVPrefix)+8 || !bytes.HasPrefix(pair.Key, []byte(omapIVPrefix)) {
 				continue

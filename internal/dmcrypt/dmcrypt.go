@@ -22,6 +22,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/crypto/xts"
 	"repro/internal/simdisk"
@@ -76,7 +77,9 @@ type Integrity struct {
 	dataSectors int64
 	jrnOff      int64 // journal region offset
 	jrnLen      int64
-	jrnHead     int64 // next journal write offset (ring)
+
+	jrnMu   sync.Mutex
+	jrnHead int64 // next journal write offset (ring); guarded by jrnMu
 }
 
 // NewIntegrity lays the integrity mapping over a device. With journal
@@ -141,19 +144,26 @@ func (g *Integrity) WriteSectorsMeta(at vtime.Time, p []byte, off int64, metas [
 		// Journal pass: data plus metadata, sequential in the ring, then
 		// the in-place writes. This is the "nearly one-half" cost.
 		jn := int64(len(p)) + n*metaPerSector + SectorSize // + commit block
-		if g.jrnHead+jn > g.jrnLen {
-			g.jrnHead = 0
-		}
 		jbuf := make([]byte, jn)
 		copy(jbuf, p)
 		if metas != nil {
 			copy(jbuf[len(p):], metas)
 		}
-		e, err := g.inner.WriteAt(at, jbuf, g.jrnOff+g.jrnHead)
+		// The journal is strictly sequential (as in dm-integrity), so the
+		// ring write happens under the lock: concurrent writers (fio
+		// workers share one device) cannot interleave inside a record or
+		// land on the same slot after a ring wrap.
+		g.jrnMu.Lock()
+		if g.jrnHead+jn > g.jrnLen {
+			g.jrnHead = 0
+		}
+		slot := g.jrnHead
+		g.jrnHead += jn
+		e, err := g.inner.WriteAt(at, jbuf, g.jrnOff+slot)
+		g.jrnMu.Unlock()
 		if err != nil {
 			return at, err
 		}
-		g.jrnHead += jn
 		end = e
 	}
 

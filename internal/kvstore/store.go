@@ -388,6 +388,15 @@ func (s *Store) Get(at vtime.Time, key []byte) ([]byte, bool, vtime.Time, error)
 	return nil, false, c.at, nil
 }
 
+// kvSpan locates one decoded pair inside a scan arena.
+type kvSpan struct{ ko, kl, vo, vl int }
+
+// spanPool recycles the per-scan span scratch: unlike the arena (whose
+// ownership passes to the caller through the returned KV views), the
+// span offsets are dead once the KV slice is built, so large OMAP scans
+// reuse them across calls instead of reallocating ~1k entries each time.
+var spanPool = sync.Pool{New: func() any { return new([]kvSpan) }}
+
 // Scan returns up to limit live pairs with lo <= key < hi (hi empty means
 // unbounded; limit <= 0 means unlimited).
 //
@@ -405,10 +414,13 @@ func (s *Store) Scan(at vtime.Time, lo, hi []byte, limit int) ([]KV, vtime.Time,
 	if err != nil {
 		return nil, c.at, err
 	}
-	var (
-		arena []byte
-		spans []struct{ ko, kl, vo, vl int }
-	)
+	spansPtr := spanPool.Get().(*[]kvSpan)
+	spans := (*spansPtr)[:0]
+	putSpans := func() {
+		*spansPtr = spans[:0]
+		spanPool.Put(spansPtr)
+	}
+	var arena []byte
 	for it.valid() {
 		e := it.entry()
 		if len(hi) > 0 && bytes.Compare(e.key, hi) >= 0 {
@@ -419,16 +431,18 @@ func (s *Store) Scan(at vtime.Time, lo, hi []byte, limit int) ([]KV, vtime.Time,
 			arena = append(arena, e.key...)
 			vo := len(arena)
 			arena = append(arena, e.value...)
-			spans = append(spans, struct{ ko, kl, vo, vl int }{ko, len(e.key), vo, len(e.value)})
+			spans = append(spans, kvSpan{ko, len(e.key), vo, len(e.value)})
 			if limit > 0 && len(spans) >= limit {
 				break
 			}
 		}
 		if err := it.next(); err != nil {
+			putSpans()
 			return nil, c.at, err
 		}
 	}
 	if len(spans) == 0 {
+		putSpans()
 		c.at = s.chargeCPU(c.at, 0, s.cfg.CPUPerEntryRead)
 		return nil, c.at, nil
 	}
@@ -439,7 +453,9 @@ func (s *Store) Scan(at vtime.Time, lo, hi []byte, limit int) ([]KV, vtime.Time,
 			Value: arena[sp.vo : sp.vo+sp.vl : sp.vo+sp.vl],
 		}
 	}
-	c.at = s.chargeCPU(c.at, len(out), s.cfg.CPUPerEntryRead)
+	n := len(out)
+	putSpans()
+	c.at = s.chargeCPU(c.at, n, s.cfg.CPUPerEntryRead)
 	return out, c.at, nil
 }
 

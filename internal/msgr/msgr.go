@@ -23,16 +23,68 @@ import (
 // is ready to transmit.
 type Handler func(at vtime.Time, req []byte) (resp []byte, done vtime.Time, err error)
 
+// Msg is a typed wire message. WireLen reports the exact byte-codec
+// encoding size, so a transport that never marshals the message (the
+// in-process fast path) can charge the cost model identically to one
+// that does.
+type Msg interface{ WireLen() int }
+
+// TypedHandler services one request without the byte codec: the request
+// arrives as the client's typed message, and the reply returns the same
+// way. The handler must copy anything it persists before returning — the
+// caller owns the request's payload buffers and may recycle them as soon
+// as the call completes.
+type TypedHandler func(at vtime.Time, req Msg) (resp Msg, done vtime.Time, err error)
+
 // Conn is a client's connection to one server.
 type Conn interface {
 	// Call sends a request at virtual time at and returns the reply and
 	// its virtual delivery time.
 	Call(at vtime.Time, req []byte) (resp []byte, end vtime.Time, err error)
+	// CallV is the scatter-gather form of Call: the request is the
+	// concatenation of segs, transmitted without the caller having to
+	// join them. The cost model charges the summed segment length, and
+	// transports forward the segments as-is where they can (vectored
+	// socket writes on TCP; typed servers never see bytes at all).
+	CallV(at vtime.Time, segs [][]byte) (resp []byte, end vtime.Time, err error)
 	Close() error
+}
+
+// TypedConn is the in-process fast path: requests and replies cross the
+// connection as typed messages, skipping the marshal/unmarshal round
+// trip entirely while still being charged their full wire size. Conns
+// advertise it only when their server registered a TypedHandler, so a
+// successful type assertion is a usable fast path.
+type TypedConn interface {
+	Conn
+	CallTyped(at vtime.Time, req Msg) (resp Msg, end vtime.Time, err error)
 }
 
 // ErrClosed reports use of a closed connection.
 var ErrClosed = errors.New("msgr: connection closed")
+
+// JoinSegs flattens a scatter-gather segment list into one contiguous
+// buffer — the compatibility shim between the vectored and flat wire
+// forms (byte-codec handlers reached through CallV, codec oracles).
+func JoinSegs(segs [][]byte) []byte {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	out := make([]byte, 0, total)
+	for _, s := range segs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func segsLen(segs [][]byte) int {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	return n
+}
 
 // LinkCost models one direction of a network path.
 type LinkCost struct {
@@ -73,6 +125,7 @@ func (lc LinkCost) transmit(at vtime.Time, stream *vtime.Resource, n int) vtime.
 // stream resources.
 type InProcServer struct {
 	handler Handler
+	typed   TypedHandler
 	mu      sync.Mutex
 	closed  bool
 }
@@ -80,6 +133,13 @@ type InProcServer struct {
 // NewInProcServer wraps a handler.
 func NewInProcServer(h Handler) *InProcServer {
 	return &InProcServer{handler: h}
+}
+
+// SetTypedHandler registers the typed fast-path handler. Connections
+// created after this call implement TypedConn. Register before wiring
+// connections; the byte handler stays as the codec-compatibility path.
+func (s *InProcServer) SetTypedHandler(th TypedHandler) {
+	s.typed = th
 }
 
 // Close stops accepting calls.
@@ -103,29 +163,42 @@ type inProcConn struct {
 // Connect creates a connection whose two directions are modeled by the
 // given costs. Each connection gets its own stream resources (one TCP
 // stream's worth of bandwidth), sharing any NIC resources inside the
-// costs.
+// costs. When the server has a typed handler, the returned Conn also
+// implements TypedConn.
 func (s *InProcServer) Connect(name string, reqCost, respCost LinkCost) Conn {
-	return &inProcConn{
+	c := &inProcConn{
 		srv:      s,
 		reqCost:  reqCost,
 		respCost: respCost,
 		reqLink:  vtime.NewResource(name + "/req"),
 		respLink: vtime.NewResource(name + "/resp"),
 	}
+	if s.typed != nil {
+		return &inProcTypedConn{inProcConn: c}
+	}
+	return c
 }
 
-func (c *inProcConn) Call(at vtime.Time, req []byte) ([]byte, vtime.Time, error) {
+// checkOpen reports ErrClosed when either endpoint has shut down.
+func (c *inProcConn) checkOpen() error {
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
 	if closed {
-		return nil, at, ErrClosed
+		return ErrClosed
 	}
 	c.srv.mu.Lock()
 	srvClosed := c.srv.closed
 	c.srv.mu.Unlock()
 	if srvClosed {
-		return nil, at, ErrClosed
+		return ErrClosed
+	}
+	return nil
+}
+
+func (c *inProcConn) Call(at vtime.Time, req []byte) ([]byte, vtime.Time, error) {
+	if err := c.checkOpen(); err != nil {
+		return nil, at, err
 	}
 	arrive := c.reqCost.transmit(at, c.reqLink, len(req))
 	resp, done, err := c.srv.handler(arrive, req)
@@ -133,6 +206,36 @@ func (c *inProcConn) Call(at vtime.Time, req []byte) ([]byte, vtime.Time, error)
 		return nil, arrive, fmt.Errorf("msgr: remote: %w", err)
 	}
 	end := c.respCost.transmit(done, c.respLink, len(resp))
+	return resp, end, nil
+}
+
+// CallV joins the segments and runs the byte codec — the in-process
+// transport has no socket to scatter into, and the joined form is
+// exactly what the compatibility oracle wants to exercise. Zero-copy
+// in-process traffic uses CallTyped instead.
+func (c *inProcConn) CallV(at vtime.Time, segs [][]byte) ([]byte, vtime.Time, error) {
+	return c.Call(at, JoinSegs(segs))
+}
+
+// inProcTypedConn is an inProcConn whose server accepts typed dispatch.
+type inProcTypedConn struct {
+	*inProcConn
+}
+
+// CallTyped hands the typed request straight to the server's handler —
+// no marshal, no unmarshal — while charging both directions their exact
+// byte-codec wire size, so the virtual-time outcome is identical to the
+// byte path.
+func (c *inProcTypedConn) CallTyped(at vtime.Time, req Msg) (Msg, vtime.Time, error) {
+	if err := c.checkOpen(); err != nil {
+		return nil, at, err
+	}
+	arrive := c.reqCost.transmit(at, c.reqLink, req.WireLen())
+	resp, done, err := c.srv.typed(arrive, req)
+	if err != nil {
+		return nil, arrive, fmt.Errorf("msgr: remote: %w", err)
+	}
+	end := c.respCost.transmit(done, c.respLink, resp.WireLen())
 	return resp, end, nil
 }
 

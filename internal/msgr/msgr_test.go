@@ -63,6 +63,99 @@ func TestInProcSharedNICContention(t *testing.T) {
 	}
 }
 
+func TestInProcCallVChargesSummedLength(t *testing.T) {
+	srv := NewInProcServer(echoHandler)
+	defer srv.Close()
+	lc := LinkCost{Latency: 5 * time.Microsecond, StreamPerByte: 1}
+
+	// A scattered request must cost exactly what its joined form costs.
+	joined := srv.Connect("joined", lc, lc)
+	scattered := srv.Connect("scattered", lc, lc)
+	respJ, endJ, err := joined.Call(0, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respS, endS, err := scattered.CallV(0, [][]byte{[]byte("he"), nil, []byte("llo")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(respJ, respS) {
+		t.Fatalf("scattered call diverged: %q vs %q", respJ, respS)
+	}
+	if endJ != endS {
+		t.Fatalf("cost model diverged: joined %d scattered %d", endJ, endS)
+	}
+}
+
+// wireMsg is a minimal typed message for transport tests.
+type wireMsg struct {
+	body []byte
+}
+
+func (m *wireMsg) WireLen() int { return len(m.body) }
+
+func TestInProcTypedDispatch(t *testing.T) {
+	srv := NewInProcServer(echoHandler)
+	defer srv.Close()
+	srv.SetTypedHandler(func(at vtime.Time, req Msg) (Msg, vtime.Time, error) {
+		in := req.(*wireMsg)
+		return &wireMsg{body: append([]byte("echo:"), in.body...)}, at.Add(10 * time.Microsecond), nil
+	})
+	lc := LinkCost{Latency: 5 * time.Microsecond, StreamPerByte: 1}
+	conn := srv.Connect("typed", lc, lc)
+	defer conn.Close()
+
+	tc, ok := conn.(TypedConn)
+	if !ok {
+		t.Fatal("server with typed handler must hand out TypedConns")
+	}
+	resp, end, err := tc.CallTyped(0, &wireMsg{body: []byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(*wireMsg).body; !bytes.Equal(got, []byte("echo:hello")) {
+		t.Fatalf("typed resp %q", got)
+	}
+	// Identical cost shape to TestInProcCall: 5B request, 10B reply.
+	want := vtime.Time(5 + 5000 + 10000 + 10 + 5000)
+	if end != want {
+		t.Fatalf("typed end = %d want %d", end, want)
+	}
+
+	// The byte path must still work on the same connection (oracle).
+	respB, endB, err := conn.Call(0, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(respB, []byte("echo:hello")) {
+		t.Fatalf("byte resp on typed conn: %q", respB)
+	}
+	if endB <= 0 {
+		t.Fatal("byte path lost virtual time")
+	}
+}
+
+func TestInProcUntypedServerHasNoTypedConn(t *testing.T) {
+	srv := NewInProcServer(echoHandler)
+	defer srv.Close()
+	conn := srv.Connect("plain", LinkCost{}, LinkCost{})
+	if _, ok := conn.(TypedConn); ok {
+		t.Fatal("server without typed handler must not advertise TypedConn")
+	}
+}
+
+func TestInProcTypedClosed(t *testing.T) {
+	srv := NewInProcServer(echoHandler)
+	srv.SetTypedHandler(func(at vtime.Time, req Msg) (Msg, vtime.Time, error) {
+		return req, at, nil
+	})
+	conn := srv.Connect("c", LinkCost{}, LinkCost{}).(TypedConn)
+	srv.Close()
+	if _, _, err := conn.CallTyped(0, &wireMsg{}); err == nil {
+		t.Fatal("closed server accepted typed call")
+	}
+}
+
 func TestInProcClosed(t *testing.T) {
 	srv := NewInProcServer(echoHandler)
 	conn := srv.Connect("c", LinkCost{}, LinkCost{})
@@ -156,6 +249,33 @@ func TestTCPConcurrentCalls(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+func TestTCPCallVScatterGather(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", func(at vtime.Time, req []byte) ([]byte, vtime.Time, error) {
+		return req, at, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Segments — including empty ones — must arrive as one joined frame.
+	segs := [][]byte{[]byte("head|"), nil, bytes.Repeat([]byte{0x42}, 100000), []byte("|tail")}
+	want := append([]byte("head|"), bytes.Repeat([]byte{0x42}, 100000)...)
+	want = append(want, []byte("|tail")...)
+	resp, _, err := conn.CallV(0, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, want) {
+		t.Fatal("vectored frame corrupted")
 	}
 }
 

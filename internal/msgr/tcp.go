@@ -23,16 +23,28 @@ const tcpMagic = 0x52424453 // "RBDS"
 const tcpHeaderSize = 4 + 8 + 8 + 4 + 4
 
 func writeFrame(w io.Writer, id uint64, at vtime.Time, status uint32, payload []byte) error {
+	return writeFrameV(w, id, at, status, [][]byte{payload})
+}
+
+// writeFrameV writes one frame whose payload is the concatenation of
+// segs, without joining them first: the header and every segment go out
+// as one vectored write (writev on a net.Conn), so scatter-gather
+// requests cross the socket with zero client-side payload copies.
+func writeFrameV(w io.Writer, id uint64, at vtime.Time, status uint32, segs [][]byte) error {
 	hdr := make([]byte, tcpHeaderSize)
 	binary.LittleEndian.PutUint32(hdr[0:4], tcpMagic)
 	binary.LittleEndian.PutUint64(hdr[4:12], id)
 	binary.LittleEndian.PutUint64(hdr[12:20], uint64(at))
 	binary.LittleEndian.PutUint32(hdr[20:24], status)
-	binary.LittleEndian.PutUint32(hdr[24:28], uint32(len(payload)))
-	if _, err := w.Write(hdr); err != nil {
-		return err
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(segsLen(segs)))
+	bufs := make(net.Buffers, 0, 1+len(segs))
+	bufs = append(bufs, hdr)
+	for _, s := range segs {
+		if len(s) > 0 {
+			bufs = append(bufs, s)
+		}
 	}
-	_, err := w.Write(payload)
+	_, err := bufs.WriteTo(w)
 	return err
 }
 
@@ -185,6 +197,12 @@ func (c *TCPConn) readLoop() {
 
 // Call implements Conn.
 func (c *TCPConn) Call(at vtime.Time, req []byte) ([]byte, vtime.Time, error) {
+	return c.CallV(at, [][]byte{req})
+}
+
+// CallV implements Conn: the request segments are framed and written
+// with one vectored socket write; no joined copy is ever built.
+func (c *TCPConn) CallV(at vtime.Time, segs [][]byte) ([]byte, vtime.Time, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -197,7 +215,7 @@ func (c *TCPConn) Call(at vtime.Time, req []byte) ([]byte, vtime.Time, error) {
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := writeFrame(c.conn, id, at, 0, req)
+	err := writeFrameV(c.conn, id, at, 0, segs)
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()

@@ -3,9 +3,15 @@ package rados
 import (
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/msgr"
 	"repro/internal/vtime"
 )
+
+// wireHdrHint sizes the pooled header-scratch buffer for scatter-gather
+// marshals; a typical request's fixed fields and small payloads fit in
+// one 4 KiB pool class.
+const wireHdrHint = 4096
 
 // Client issues object operations to the cluster, routing each request to
 // the primary OSD of the object's placement group (libRADOS' role).
@@ -19,6 +25,15 @@ type Client struct {
 //
 // Mutating requests carry the snap context; read requests may address a
 // snapshot via snapID.
+//
+// Transport selection is by capability: a typed connection (the
+// in-process fast path) carries the request and reply as structs — op
+// payloads travel by reference from the caller's buffers to the OSD and
+// back, with zero marshal copies — while a byte connection gets the
+// scatter-gather encoding, whose segments still reference the payloads.
+// Either way the caller may recycle its op payload buffers as soon as
+// Operate returns: the OSD copies what it persists before replying, and
+// the transport has fully consumed the segments.
 func (c *Client) Operate(at vtime.Time, pool, object string, snapc SnapContext, snapID uint64, ops []Op) ([]Result, vtime.Time, error) {
 	if len(ops) == 0 {
 		return nil, at, fmt.Errorf("rados: empty request")
@@ -35,16 +50,36 @@ func (c *Client) Operate(at vtime.Time, pool, object string, snapc SnapContext, 
 		SnapSeq: snapc.Seq,
 		Ops:     ops,
 	}
-	respPayload, end, err := conn.Call(at, req.Marshal())
+
+	if tc, ok := conn.(msgr.TypedConn); ok {
+		resp, end, err := tc.CallTyped(at, req)
+		if err != nil {
+			return nil, at, err
+		}
+		reply, ok := resp.(*Reply)
+		if !ok {
+			return nil, end, fmt.Errorf("rados: unexpected typed reply %T", resp)
+		}
+		if len(reply.Results) != len(ops) {
+			return nil, end, fmt.Errorf("rados: %d results for %d ops", len(reply.Results), len(ops))
+		}
+		return reply.Results, end, nil
+	}
+
+	segs, hdr := req.MarshalV(bufpool.Get(wireHdrHint))
+	respPayload, end, err := conn.CallV(at, segs)
+	bufpool.Put(hdr)
 	if err != nil {
 		return nil, at, err
 	}
 	reply, err := UnmarshalReply(respPayload)
 	if err != nil {
-		return nil, at, err
+		// The call itself completed; keep the elapsed virtual time even
+		// though the payload is unusable.
+		return nil, end, err
 	}
 	if len(reply.Results) != len(ops) {
-		return nil, at, fmt.Errorf("rados: %d results for %d ops", len(reply.Results), len(ops))
+		return nil, end, fmt.Errorf("rados: %d results for %d ops", len(reply.Results), len(ops))
 	}
 	return reply.Results, end, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/blobstore"
+	"repro/internal/bufpool"
 	"repro/internal/crush"
 	"repro/internal/msgr"
 	"repro/internal/simdisk"
@@ -113,6 +114,7 @@ func NewOSD(at vtime.Time, id int, cmap *ClusterMap, disks []*simdisk.Disk, blob
 		o.stores = append(o.stores, st)
 	}
 	o.srv = msgr.NewInProcServer(o.handle)
+	o.srv.SetTypedHandler(o.handleTyped)
 	return o, at, nil
 }
 
@@ -146,19 +148,47 @@ func (o *OSD) lockFor(fullName string) *sync.Mutex {
 	return l
 }
 
-// Handle is the msgr entry point; exposed so OSDs can be served over any
-// transport (the in-proc modeled network or real TCP).
+// Handle is the byte-codec msgr entry point; exposed so OSDs can be
+// served over any transport (real TCP, or the in-proc loopback used as
+// the codec-compatibility oracle). The in-proc fast path enters through
+// handleTyped instead and never touches the codec.
 func (o *OSD) Handle(at vtime.Time, payload []byte) ([]byte, vtime.Time, error) {
 	return o.handle(at, payload)
 }
 
-// handle services one request.
+// handle services one byte-codec request.
 func (o *OSD) handle(at vtime.Time, payload []byte) ([]byte, vtime.Time, error) {
 	req, err := UnmarshalRequest(payload)
 	if err != nil {
 		return nil, at, err
 	}
+	reply, end, err := o.serve(at, req)
+	if err != nil {
+		return nil, at, err
+	}
+	return reply.Marshal(), end, nil
+}
 
+// handleTyped services one typed request — the in-process fast path. The
+// request's payload slices are owned by the caller (they are the
+// client's pooled seal buffers); everything persisted is copied by the
+// blobstore/kvstore layers before serve returns, so no reference
+// survives the call.
+func (o *OSD) handleTyped(at vtime.Time, m msgr.Msg) (msgr.Msg, vtime.Time, error) {
+	req, ok := m.(*Request)
+	if !ok {
+		return nil, at, fmt.Errorf("osd%d: unexpected typed message %T", o.id, m)
+	}
+	reply, end, err := o.serve(at, req)
+	if err != nil {
+		return nil, at, err
+	}
+	return reply, end, nil
+}
+
+// serve executes one request and its replication, shared by both wire
+// forms.
+func (o *OSD) serve(at vtime.Time, req *Request) (*Reply, vtime.Time, error) {
 	// CPU admission cost.
 	var bytes int64
 	mutating := false
@@ -186,47 +216,81 @@ func (o *OSD) handle(at vtime.Time, payload []byte) ([]byte, vtime.Time, error) 
 
 	end := localEnd
 	if mutating && !req.Replica {
-		// Primary-copy replication: forward to the other replicas in
-		// parallel; the write is acknowledged when every copy is durable.
-		pg := o.cmap.PG(req.Pool, req.Object)
-		replicas := o.cmap.OSDsFor(pg)
-		fwd := *req
-		fwd.Replica = true
-		fwdPayload := fwd.Marshal()
+		end, err = o.replicate(at, req, end)
+		if err != nil {
+			return nil, at, err
+		}
+	}
+	return &Reply{Results: results}, end, nil
+}
 
-		type repl struct {
-			end vtime.Time
-			err error
+// replicate runs primary-copy replication: the request is forwarded to
+// the other replicas in parallel — typed when the peer connection allows
+// it, scatter-gather marshaled otherwise — and the write is acknowledged
+// when every copy is durable.
+func (o *OSD) replicate(at vtime.Time, req *Request, end vtime.Time) (vtime.Time, error) {
+	pg := o.cmap.PG(req.Pool, req.Object)
+	replicas := o.cmap.OSDsFor(pg)
+	conns := make([]msgr.Conn, 0, len(replicas)-1)
+	for _, rid := range replicas {
+		if rid == o.id {
+			continue
 		}
-		ch := make(chan repl, len(replicas))
-		n := 0
-		for _, rid := range replicas {
-			if rid == o.id {
-				continue
-			}
-			o.mu.Lock()
-			conn := o.peers[rid]
-			o.mu.Unlock()
-			if conn == nil {
-				return nil, at, fmt.Errorf("osd%d: no peer connection to osd%d", o.id, rid)
-			}
-			n++
-			go func(c msgr.Conn) {
-				_, rend, rerr := c.Call(at, fwdPayload)
-				ch <- repl{end: rend, err: rerr}
-			}(conn)
+		o.mu.Lock()
+		conn := o.peers[rid]
+		o.mu.Unlock()
+		if conn == nil {
+			return at, fmt.Errorf("osd%d: no peer connection to osd%d", o.id, rid)
 		}
-		for i := 0; i < n; i++ {
-			r := <-ch
-			if r.err != nil {
-				return nil, at, fmt.Errorf("osd%d: replica: %w", o.id, r.err)
-			}
-			end = vtime.Max(end, r.end)
+		conns = append(conns, conn)
+	}
+	if len(conns) == 0 {
+		return end, nil
+	}
+
+	// The forward shares the request's op vector (read-only on the peer)
+	// with the replica flag set, so no payload is re-staged.
+	fwd := *req
+	fwd.Replica = true
+	var fwdSegs [][]byte
+	var fwdHdr []byte
+	for _, c := range conns {
+		if _, ok := c.(msgr.TypedConn); !ok {
+			fwdSegs, fwdHdr = fwd.MarshalV(bufpool.Get(wireHdrHint))
+			break
 		}
 	}
 
-	reply := &Reply{Results: results}
-	return reply.Marshal(), end, nil
+	type repl struct {
+		end vtime.Time
+		err error
+	}
+	ch := make(chan repl, len(conns))
+	for _, conn := range conns {
+		go func(c msgr.Conn) {
+			var rend vtime.Time
+			var rerr error
+			if tc, ok := c.(msgr.TypedConn); ok {
+				_, rend, rerr = tc.CallTyped(at, &fwd)
+			} else {
+				_, rend, rerr = c.CallV(at, fwdSegs)
+			}
+			ch <- repl{end: rend, err: rerr}
+		}(conn)
+	}
+	var firstErr error
+	for i := 0; i < len(conns); i++ {
+		r := <-ch
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		end = vtime.Max(end, r.end)
+	}
+	bufpool.Put(fwdHdr)
+	if firstErr != nil {
+		return at, fmt.Errorf("osd%d: replica: %w", o.id, firstErr)
+	}
+	return end, nil
 }
 
 func cloneName(fullName string, snapID uint64) string {
@@ -403,7 +467,12 @@ func (o *OSD) executeRead(at vtime.Time, st *blobstore.Store, fullName string, r
 		}
 		switch op.Kind {
 		case OpRead:
-			buf := make([]byte, op.Len)
+			// The in-process fast path supplies the client's own pooled
+			// destination; remote reads (byte codec strips Dst) allocate.
+			buf := op.Dst
+			if int64(len(buf)) != op.Len {
+				buf = make([]byte, op.Len)
+			}
 			e, err := st.Read(at, src, op.Off, buf)
 			if errors.Is(err, blobstore.ErrNotFound) {
 				results[i] = Result{Status: StatusNotFound}

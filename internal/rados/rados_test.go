@@ -72,7 +72,8 @@ func TestWireRoundTrip(t *testing.T) {
 }
 
 func TestWireRejectsGarbage(t *testing.T) {
-	for _, b := range [][]byte{nil, {1}, bytes.Repeat([]byte{0xFF}, 40)} {
+	trailing := append((&Request{Pool: "p", Object: "o", Ops: []Op{{Kind: OpStat}}}).Marshal(), 0x00)
+	for _, b := range [][]byte{nil, {1}, bytes.Repeat([]byte{0xFF}, 40), trailing} {
 		if _, err := UnmarshalRequest(b); err == nil {
 			t.Fatalf("accepted %x", b)
 		}
@@ -85,8 +86,20 @@ func TestWirePropertyRoundTrip(t *testing.T) {
 			{Kind: OpWrite, Off: off, Data: data},
 			{Kind: OpGetAttr, Key: key},
 		}}
-		got, err := UnmarshalRequest(req.Marshal())
+		m := req.Marshal()
+		got, err := UnmarshalRequest(m)
 		if err != nil {
+			return false
+		}
+		// The scatter-gather form and WireLen must agree with the flat
+		// codec byte for byte — the compatibility oracle.
+		segs, hdr := req.MarshalV(nil)
+		joined := make([]byte, 0, len(m))
+		for _, s := range segs {
+			joined = append(joined, s...)
+		}
+		_ = hdr
+		if !bytes.Equal(joined, m) || req.WireLen() != len(m) {
 			return false
 		}
 		return got.Pool == pool && got.Object == object &&
@@ -95,6 +108,39 @@ func TestWirePropertyRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestReplyMarshalVOracle(t *testing.T) {
+	rep := &Reply{Results: []Result{
+		{Status: StatusOK, Data: bytes.Repeat([]byte{0x11}, 8192), Size: 8192},
+		{Status: StatusOK, Pairs: []Pair{
+			{Key: []byte("iv.0"), Value: bytes.Repeat([]byte{0x22}, 16)},
+			{Key: []byte("big"), Value: bytes.Repeat([]byte{0x33}, 1024)},
+		}},
+		{Status: StatusNotFound},
+	}}
+	m := rep.Marshal()
+	segs, _ := rep.MarshalV(nil)
+	joined := make([]byte, 0, len(m))
+	for _, s := range segs {
+		joined = append(joined, s...)
+	}
+	if !bytes.Equal(joined, m) {
+		t.Fatal("reply MarshalV diverges from Marshal")
+	}
+	if rep.WireLen() != len(m) {
+		t.Fatalf("reply WireLen %d != %d", rep.WireLen(), len(m))
+	}
+	// Large payloads must be referenced, not copied, by MarshalV.
+	found := false
+	for _, s := range segs {
+		if len(s) > 0 && len(rep.Results[0].Data) > 0 && &s[0] == &rep.Results[0].Data[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("large payload was copied instead of referenced")
 	}
 }
 

@@ -94,6 +94,16 @@ type Op struct {
 	Key2  []byte
 	Data  []byte
 	Pairs []Pair
+
+	// Dst, when non-nil on an OpRead with len(Dst) == Len, is the
+	// caller-owned destination buffer for the in-process fast path: the
+	// OSD reads straight into it and the result's Data aliases it, so a
+	// fetched block lands in the client's (typically pooled) buffer with
+	// zero intermediate copies. It is client-local plumbing — never
+	// marshaled — so reads that cross the byte codec allocate at the
+	// server exactly as before. Callers providing Dst must treat its
+	// contents as unspecified unless the op's result status is OK.
+	Dst []byte
 }
 
 // Status is a per-op result code.
@@ -178,28 +188,31 @@ type Reply struct {
 }
 
 // ---- wire encoding ----
+//
+// Messages exist in two interchangeable forms (DESIGN.md "wire forms"):
+//
+//   - The byte codec: Marshal/Unmarshal produce and parse the flat
+//     little-endian encoding. It is the TCP and loopback form and the
+//     compatibility oracle the fuzz targets pin. Unmarshal is zero-copy:
+//     decoded Key/Data/Pair slices alias the input buffer, which the
+//     caller must therefore treat as immutable and unpooled for the
+//     lifetime of the decoded message.
+//   - The scatter-gather form: MarshalV packs every fixed field and
+//     small payload into a caller-provided (typically pooled) header
+//     buffer and references — not copies — large payloads, yielding a
+//     segment list whose concatenation is byte-identical to Marshal.
+//     Transports forward the segments directly (vectored socket writes);
+//     the typed in-process path skips encoding entirely and charges
+//     WireLen instead.
 
 // ErrWire reports a malformed message.
 var ErrWire = errors.New("rados: malformed message")
 
-type wireWriter struct{ buf []byte }
-
-func (w *wireWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
-func (w *wireWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
-func (w *wireWriter) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
-func (w *wireWriter) i64(v int64)  { w.u64(uint64(v)) }
-func (w *wireWriter) bytes(b []byte) {
-	w.u32(uint32(len(b)))
-	w.buf = append(w.buf, b...)
-}
-func (w *wireWriter) str(s string) { w.bytes([]byte(s)) }
-func (w *wireWriter) pairs(ps []Pair) {
-	w.u32(uint32(len(ps)))
-	for _, p := range ps {
-		w.bytes(p.Key)
-		w.bytes(p.Value)
-	}
-}
+// segRefCutoff is the smallest payload MarshalV references instead of
+// copying into the header segment. Below it (OMAP keys, IVs, tags) the
+// copy is cheaper than the extra segments it would take to carry the
+// length prefix and the payload separately.
+const segRefCutoff = 256
 
 type wireReader struct {
 	buf []byte
@@ -245,72 +258,130 @@ func (r *wireReader) u64() uint64 {
 
 func (r *wireReader) i64() int64 { return int64(r.u64()) }
 
+// bytes returns the next length-prefixed field as a view into the input
+// buffer — zero-copy; see the package wire-form notes on input ownership.
 func (r *wireReader) bytes() []byte {
 	n := int(r.u32())
 	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
 		r.fail()
 		return nil
 	}
-	v := make([]byte, n)
-	copy(v, r.buf[r.off:r.off+n])
+	if n == 0 {
+		return nil
+	}
+	v := r.buf[r.off : r.off+n : r.off+n]
 	r.off += n
 	return v
 }
 
 func (r *wireReader) str() string { return string(r.bytes()) }
 
-// pairs decodes a pair vector with batched allocation: a first pass over
-// the wire bytes sums the payload lengths, then every key and value is
-// copied into one shared arena. OMAP-heavy replies (the per-block IV
-// reads of the omap layout) used to pay two allocations per pair here;
-// now a reply costs two regardless of pair count.
+// pairs decodes a pair vector. Keys and values alias the input buffer
+// (zero-copy), so a reply's OMAP pairs cost one []Pair allocation total
+// regardless of pair count — the per-block IV reads of the omap layout
+// used to pay two copies per pair here.
 func (r *wireReader) pairs() []Pair {
 	n := int(r.u32())
-	if r.err != nil || n < 0 || n > len(r.buf) {
+	// Every pair needs at least its two length prefixes, which bounds a
+	// hostile count before the []Pair allocation.
+	if r.err != nil || n < 0 || n > (len(r.buf)-r.off)/8 {
 		r.fail()
 		return nil
 	}
 	if n == 0 {
 		return nil
 	}
-	// Pass 1: measure.
-	save := r.off
-	total := 0
-	for i := 0; i < n; i++ {
-		for j := 0; j < 2; j++ {
-			l := int(r.u32())
-			if r.err != nil || l < 0 || r.off+l > len(r.buf) {
-				r.fail()
-				return nil
-			}
-			r.off += l
-			total += l
-		}
-	}
-	// Pass 2: decode into the arena.
-	r.off = save
-	arena := make([]byte, 0, total)
 	ps := make([]Pair, n)
 	for i := 0; i < n; i++ {
-		for j := 0; j < 2; j++ {
-			l := int(r.u32())
-			ko := len(arena)
-			arena = append(arena, r.buf[r.off:r.off+l]...)
-			r.off += l
-			s := arena[ko:len(arena):len(arena)]
-			if j == 0 {
-				ps[i].Key = s
-			} else {
-				ps[i].Value = s
-			}
+		ps[i].Key = r.bytes()
+		ps[i].Value = r.bytes()
+		if r.err != nil {
+			return nil
 		}
 	}
 	return ps
 }
 
-// Marshal serializes a request.
-func (q *Request) Marshal() []byte {
-	w := &wireWriter{}
+// pairsWireLen is the encoded size of a pair vector.
+func pairsWireLen(ps []Pair) int {
+	n := 4
+	for _, p := range ps {
+		n += 8 + len(p.Key) + len(p.Value)
+	}
+	return n
+}
+
+// WireLen reports the exact byte-codec encoding size of the request —
+// len(q.Marshal()) without marshaling. The typed in-process transport
+// charges it to the network cost model so both wire forms cost the same
+// virtual time.
+func (q *Request) WireLen() int {
+	n := 4 + len(q.Pool) + 4 + len(q.Object) + 8 + 8 + 1 + 4
+	for _, op := range q.Ops {
+		n += 1 + 8 + 8 + 4 + len(op.Key) + 4 + len(op.Key2) + 4 + len(op.Data) + pairsWireLen(op.Pairs)
+	}
+	return n
+}
+
+// WireLen reports the exact byte-codec encoding size of the reply.
+func (p *Reply) WireLen() int {
+	n := 4
+	for _, res := range p.Results {
+		n += 4 + 8 + 4 + len(res.Data) + pairsWireLen(res.Pairs)
+	}
+	return n
+}
+
+// segWriter builds the scatter-gather encoding: fixed fields and small
+// payloads accumulate in hdr (caller-provided, typically pooled), while
+// payloads of at least segRefCutoff bytes become reference segments.
+// Flushed header runs stay valid even when a later append reallocates
+// hdr: their bytes are already written and never touched again. With
+// inlineAll set, every payload is copied into hdr instead — the flat
+// Marshal form, encoded in exactly one WireLen-sized buffer.
+type segWriter struct {
+	hdr       []byte
+	segs      [][]byte
+	runStart  int
+	inlineAll bool
+}
+
+func (w *segWriter) flushRun() {
+	if len(w.hdr) > w.runStart {
+		w.segs = append(w.segs, w.hdr[w.runStart:len(w.hdr):len(w.hdr)])
+		w.runStart = len(w.hdr)
+	}
+}
+
+func (w *segWriter) u8(v uint8)   { w.hdr = append(w.hdr, v) }
+func (w *segWriter) u32(v uint32) { w.hdr = binary.LittleEndian.AppendUint32(w.hdr, v) }
+func (w *segWriter) u64(v uint64) { w.hdr = binary.LittleEndian.AppendUint64(w.hdr, v) }
+func (w *segWriter) i64(v int64)  { w.u64(uint64(v)) }
+
+func (w *segWriter) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	if !w.inlineAll && len(b) >= segRefCutoff {
+		w.flushRun()
+		w.segs = append(w.segs, b)
+		return
+	}
+	w.hdr = append(w.hdr, b...)
+}
+
+func (w *segWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.hdr = append(w.hdr, s...)
+}
+
+func (w *segWriter) pairs(ps []Pair) {
+	w.u32(uint32(len(ps)))
+	for _, p := range ps {
+		w.bytes(p.Key)
+		w.bytes(p.Value)
+	}
+}
+
+func marshalRequestInto(q *Request, w *segWriter) {
 	w.str(q.Pool)
 	w.str(q.Object)
 	w.u64(q.SnapID)
@@ -321,7 +392,8 @@ func (q *Request) Marshal() []byte {
 		w.u8(0)
 	}
 	w.u32(uint32(len(q.Ops)))
-	for _, op := range q.Ops {
+	for i := range q.Ops {
+		op := &q.Ops[i]
 		w.u8(uint8(op.Kind))
 		w.i64(op.Off)
 		w.i64(op.Len)
@@ -330,10 +402,60 @@ func (q *Request) Marshal() []byte {
 		w.bytes(op.Data)
 		w.pairs(op.Pairs)
 	}
-	return w.buf
+	w.flushRun()
 }
 
-// UnmarshalRequest parses a request.
+func marshalReplyInto(p *Reply, w *segWriter) {
+	w.u32(uint32(len(p.Results)))
+	for i := range p.Results {
+		res := &p.Results[i]
+		w.u32(uint32(res.Status))
+		w.i64(res.Size)
+		w.bytes(res.Data)
+		w.pairs(res.Pairs)
+	}
+	w.flushRun()
+}
+
+// MarshalV encodes the request as a scatter-gather segment list whose
+// concatenation is byte-identical to Marshal. hdr is the header scratch
+// buffer (pass a pooled slice; its contents are overwritten) and is
+// returned grown so the caller can recycle it once the transport call
+// has completed. Payload segments reference the request's own slices —
+// nothing payload-sized is copied.
+func (q *Request) MarshalV(hdr []byte) (segs [][]byte, hdrOut []byte) {
+	w := segWriter{hdr: hdr[:0]}
+	marshalRequestInto(q, &w)
+	return w.segs, w.hdr
+}
+
+// Marshal serializes a request with the flat byte codec: one exact
+// WireLen-sized allocation, everything inline.
+func (q *Request) Marshal() []byte {
+	w := segWriter{hdr: make([]byte, 0, q.WireLen()), inlineAll: true}
+	marshalRequestInto(q, &w)
+	return w.hdr
+}
+
+// MarshalV encodes the reply as a scatter-gather segment list; see
+// Request.MarshalV for the contract.
+func (p *Reply) MarshalV(hdr []byte) (segs [][]byte, hdrOut []byte) {
+	w := segWriter{hdr: hdr[:0]}
+	marshalReplyInto(p, &w)
+	return w.segs, w.hdr
+}
+
+// Marshal serializes a reply with the flat byte codec: one exact
+// WireLen-sized allocation, everything inline.
+func (p *Reply) Marshal() []byte {
+	w := segWriter{hdr: make([]byte, 0, p.WireLen()), inlineAll: true}
+	marshalReplyInto(p, &w)
+	return w.hdr
+}
+
+// UnmarshalRequest parses a request. The returned request aliases b:
+// Key/Key2/Data and pair slices point into it, so the caller must keep b
+// immutable (and out of any buffer pool) for the lifetime of the result.
 func UnmarshalRequest(b []byte) (*Request, error) {
 	r := &wireReader{buf: b}
 	q := &Request{
@@ -344,7 +466,9 @@ func UnmarshalRequest(b []byte) (*Request, error) {
 		Replica: r.u8() == 1,
 	}
 	n := int(r.u32())
-	if r.err != nil || n < 0 || n > 1<<20 {
+	// Every op occupies at least its fixed fields plus four empty
+	// vectors, which bounds a hostile count before the ops allocation.
+	if r.err != nil || n < 0 || n > (len(b)-r.off)/33 {
 		return nil, ErrWire
 	}
 	q.Ops = make([]Op, 0, n)
@@ -363,27 +487,19 @@ func UnmarshalRequest(b []byte) (*Request, error) {
 		}
 		q.Ops = append(q.Ops, op)
 	}
+	if r.off != len(b) {
+		return nil, ErrWire
+	}
 	return q, r.err
 }
 
-// Marshal serializes a reply.
-func (p *Reply) Marshal() []byte {
-	w := &wireWriter{}
-	w.u32(uint32(len(p.Results)))
-	for _, res := range p.Results {
-		w.u32(uint32(res.Status))
-		w.i64(res.Size)
-		w.bytes(res.Data)
-		w.pairs(res.Pairs)
-	}
-	return w.buf
-}
-
-// UnmarshalReply parses a reply.
+// UnmarshalReply parses a reply. Like UnmarshalRequest, the result
+// aliases b.
 func UnmarshalReply(b []byte) (*Reply, error) {
 	r := &wireReader{buf: b}
 	n := int(r.u32())
-	if r.err != nil || n < 0 || n > 1<<20 {
+	// Fixed fields plus two empty vectors bound a hostile result count.
+	if r.err != nil || n < 0 || n > (len(b)-r.off)/20 {
 		return nil, ErrWire
 	}
 	p := &Reply{Results: make([]Result, 0, n)}
@@ -398,6 +514,9 @@ func UnmarshalReply(b []byte) (*Reply, error) {
 			return nil, r.err
 		}
 		p.Results = append(p.Results, res)
+	}
+	if r.off != len(b) {
+		return nil, ErrWire
 	}
 	return p, r.err
 }

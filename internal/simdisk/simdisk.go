@@ -271,15 +271,20 @@ func (d *Disk) WriteSectors(at vtime.Time, sector, n int64, p []byte) (vtime.Tim
 
 // ReadAt implements byte-granular reads for convenience layers (for
 // example the dm-crypt comparator). The access is charged as the covering
-// sector-aligned read.
+// sector-aligned read. A sector-aligned access reads straight into p —
+// no covering buffer — which keeps the end-to-end read path free of
+// payload-sized allocations.
 func (d *Disk) ReadAt(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
 	if off < 0 {
 		return at, ErrOutOfRange
 	}
-	first := off / SectorSize
-	last := (off + int64(len(p)) + SectorSize - 1) / SectorSize
 	if len(p) == 0 {
 		return at, nil
+	}
+	first := off / SectorSize
+	last := (off + int64(len(p)) + SectorSize - 1) / SectorSize
+	if off%SectorSize == 0 && int64(len(p))%SectorSize == 0 {
+		return d.ReadSectors(at, first, last-first, p)
 	}
 	buf := make([]byte, (last-first)*SectorSize)
 	end, err := d.ReadSectors(at, first, last-first, buf)
@@ -306,6 +311,10 @@ func (d *Disk) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
 	n := last - first
 	headMisaligned := off%SectorSize != 0
 	tailMisaligned := (off+int64(len(p)))%SectorSize != 0
+	if !headMisaligned && !tailMisaligned {
+		// Fully aligned: write straight from p, no merge buffer.
+		return d.WriteSectors(at, first, n, p)
+	}
 
 	buf := make([]byte, n*SectorSize)
 	rmwEnd := at
