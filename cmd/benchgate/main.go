@@ -130,10 +130,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	// A missing or empty base is not a comparison error: a freshly added
+	// benchmark (or a whole new package, absent from the merge base) has
+	// nothing to regress against, so every head benchmark is reported as
+	// "new" and the gate passes on the time/alloc axes it can check.
 	base, err := parseFile(*basePath)
-	if err != nil {
+	switch {
+	case err == nil:
+	case os.IsNotExist(err):
+		fmt.Fprintf(os.Stderr, "benchgate: base %s missing; treating every head benchmark as new\n", *basePath)
+		base = map[string][]run{}
+	default:
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
+	}
+	if len(base) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: base has no parsed benchmarks; every head benchmark is new")
 	}
 	head, err := parseFile(*headPath)
 	if err != nil {

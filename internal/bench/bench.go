@@ -109,6 +109,13 @@ type Point struct {
 	// RealMBps is wall-clock bandwidth through the client datapath
 	// (real-CPU mode) — the figure the parallel pipeline accelerates.
 	RealMBps float64
+	// EffQD is the Little's-law concurrency the engine sustained
+	// (fio.Result.EffectiveQD); a value sagging under the configured
+	// depth means admission stalls, a regression the per-op engine
+	// removed on the wall-clock side (see fio.Run's before/after note —
+	// virtual EQD was already full under the wave gate, the convoy was
+	// real-time and shows up in RealMBps).
+	EffQD float64
 }
 
 // Series maps scheme name -> size -> point, for one direction.
@@ -210,6 +217,7 @@ func sweepScheme(cfg Config, spec SchemeSpec, reads, writes *Series, progress fu
 				P99Micros: float64(res.Latencies.P99.Microseconds()),
 				Ops:       res.Ops,
 				RealMBps:  res.WallMBps(),
+				EffQD:     res.EffectiveQD(),
 			}
 			if pattern.Reads() {
 				reads.Points[spec.Name][kb] = p
@@ -217,8 +225,8 @@ func sweepScheme(cfg Config, spec SchemeSpec, reads, writes *Series, progress fu
 				writes.Points[spec.Name][kb] = p
 			}
 			if progress != nil {
-				progress(fmt.Sprintf("%-12s %-9s %5d KiB  %8.1f MB/s  (%d ops, wall %v, real %.0f MB/s)",
-					spec.Name, pattern, kb, p.MBps, res.Ops, res.WallTime.Round(1e6), p.RealMBps))
+				progress(fmt.Sprintf("%-12s %-9s %5d KiB  %8.1f MB/s  (%d ops, wall %v, real %.0f MB/s, eqd %.1f/%d)",
+					spec.Name, pattern, kb, p.MBps, res.Ops, res.WallTime.Round(1e6), p.RealMBps, p.EffQD, cfg.QueueDepth))
 			}
 		}
 	}

@@ -1,0 +1,85 @@
+package clone
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchClone builds a preconditioned base + clone pair for the gated
+// benchmarks: the parent fully written, the child empty, so every read
+// resolves through the chain.
+func benchClone(b *testing.B) *Image {
+	b.Helper()
+	cl := testClient(b)
+	base := createBase(b, cl, "base", core.SchemeXTSRand, core.LayoutObjectEnd)
+	buf := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(buf)
+	for off := int64(0); off < imgSize; off += int64(len(buf)) {
+		if _, err := base.WriteAt(0, buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, _, err := base.CreateSnap(0, "g"); err != nil {
+		b.Fatal(err)
+	}
+	c, _, err := Create(0, cl, "rbd", "base", "g", "c", keysFor("base", "c"),
+		core.Options{Scheme: core.SchemeXTSRand, Layout: core.LayoutObjectEnd})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkCloneReadThrough measures a 64 KiB read that falls entirely
+// through to the parent layer — presence probe on the child plus
+// decrypt-under-parent-key — the layer-resolution hot path the bench
+// gate keeps off the allocation floor.
+func BenchmarkCloneReadThrough(b *testing.B) {
+	c := benchClone(b)
+	p := make([]byte, 64<<10)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(p)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := rng.Int63n((imgSize-int64(len(p)))/bs) * bs
+		if _, err := c.ReadAt(0, p, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCopyup measures the copyup primitive end to end: probe one
+// object's child presence, read 64 KiB through the parent chain, re-seal
+// under the child's key, commit. Between iterations (untimed) the blocks
+// are punched again so every iteration performs real copyup work.
+func BenchmarkCopyup(b *testing.B) {
+	c := benchClone(b)
+	const nb = 16 // blocks copied per iteration (object 0's head)
+	// The production fetch: read absent blocks through the parent chain.
+	fetch := parentFetch(c.parentLayer(), 0, c.Enc().Image().ObjectSize(), bs)
+	// Pre-warm: copy the whole object up once, so timed iterations copy
+	// exactly the nb punched blocks.
+	if _, _, err := c.Enc().CopyupObject(0, 0, fetch); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(nb * bs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, err := c.Enc().Discard(0, 0, nb*bs); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		n, _, err := c.Enc().CopyupObject(0, 0, fetch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != nb {
+			b.Fatalf("copyup copied %d blocks, want %d", n, nb)
+		}
+	}
+}

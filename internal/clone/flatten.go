@@ -1,0 +1,201 @@
+package clone
+
+// flatten.go is the second keymgr-style background walker: it copies
+// every still-inherited block of a clone into the child — read through
+// the parent chain with the ancestors' keys, re-sealed under the child's
+// current epoch — until nothing references the parent, then severs the
+// parent pointer. The provider can thereafter delete (or re-key, or
+// crypto-erase) the base image without touching the tenant. The walker
+// follows the rekey discipline exactly: one object per Step under the
+// object's exclusive lock (live writers either land before the copyup
+// probe and are skipped as child-owned, or queue behind the commit),
+// progress persisted in the child's header OMAP after every object so a
+// crashed client resumes instead of restarting, and an optional
+// vtime.Pacer bounding interference on foreground IO.
+
+import (
+	"errors"
+
+	"repro/internal/vtime"
+)
+
+// flattenKey is the header-OMAP key holding the persisted flatten cursor.
+const flattenKey = "clone.flatten"
+
+var (
+	// ErrFlattenActive reports a StartFlatten while an unfinished flatten
+	// exists — resume it instead.
+	ErrFlattenActive = errors.New("clone: flatten already in progress; resume it")
+	// ErrNoFlatten reports a ResumeFlatten with no persisted progress.
+	ErrNoFlatten = errors.New("clone: no flatten in progress")
+	// ErrHasSnaps reports a flatten of a clone that has snapshots of its
+	// own. Copyup fills only the child's HEAD; the snapshots' frozen
+	// views would keep resolving inherited blocks through the parent, so
+	// severing the link would silently zero them (as RBD, refuse instead).
+	ErrHasSnaps = errors.New("clone: image has snapshots that still need the parent; cannot flatten")
+)
+
+// FlattenProgress is the persisted flatten cursor.
+type FlattenProgress struct {
+	NextObj int64 `json:"next_obj"` // first object not yet walked
+	Objects int64 `json:"objects"`  // walk domain, fixed at StartFlatten
+	// Copied counts blocks copied up so far (informational; crash safety
+	// re-derives per-block work from child presence).
+	Copied int64 `json:"copied"`
+}
+
+// Done reports whether the walk has covered every object.
+func (p FlattenProgress) Done() bool { return p.NextObj >= p.Objects }
+
+// Flattener drives one flatten on one clone.
+type Flattener struct {
+	img  *Image
+	prog FlattenProgress
+	pace *vtime.Pacer
+}
+
+// Progress returns the current cursor.
+func (f *Flattener) Progress() FlattenProgress { return f.prog }
+
+// SetPace installs a virtual-time admission budget (IOPS + bytes/s caps)
+// on the walker; nil removes the cap. The pacer may be shared with other
+// walkers — a rekey and a flatten handed the same Pacer split one
+// combined budget.
+func (f *Flattener) SetPace(p *vtime.Pacer) { f.pace = p }
+
+// loadFlattenProgress reads the persisted cursor via rbd's shared
+// walker-cursor record, reporting found=false when no flatten is in
+// flight.
+func loadFlattenProgress(at vtime.Time, img *Image) (FlattenProgress, bool, vtime.Time, error) {
+	var p FlattenProgress
+	found, end, err := img.enc.Image().LoadCursor(at, flattenKey, &p)
+	if err != nil {
+		return FlattenProgress{}, false, at, err
+	}
+	return p, found, end, nil
+}
+
+func (f *Flattener) persist(at vtime.Time) (vtime.Time, error) {
+	return f.img.enc.Image().SaveCursor(at, flattenKey, f.prog)
+}
+
+func (f *Flattener) clearProgress(at vtime.Time) (vtime.Time, error) {
+	return f.img.enc.Image().ClearCursor(at, flattenKey)
+}
+
+// StartFlatten begins flattening a clone. The progress record is
+// persisted before any data moves, so a crash anywhere in the walk
+// resumes from the cursor; the walk itself is idempotent because copyup
+// keys off child presence.
+func StartFlatten(at vtime.Time, img *Image) (*Flattener, vtime.Time, error) {
+	if img.parentLayer() == nil {
+		return nil, at, ErrNotClone
+	}
+	if len(img.enc.Image().Snaps()) > 0 {
+		return nil, at, ErrHasSnaps
+	}
+	if _, found, end, err := loadFlattenProgress(at, img); err != nil {
+		return nil, at, err
+	} else if found {
+		return nil, end, ErrFlattenActive
+	}
+	f := &Flattener{img: img, prog: FlattenProgress{Objects: img.enc.ObjectCount()}}
+	at, err := f.persist(at)
+	if err != nil {
+		return nil, at, err
+	}
+	return f, at, nil
+}
+
+// ResumeFlatten reattaches to an interrupted flatten on a freshly opened
+// image — the crash-recovery path. A crash between the final copyup and
+// the record removal resumes with the parent already severed; Step then
+// just completes the bookkeeping.
+func ResumeFlatten(at vtime.Time, img *Image) (*Flattener, vtime.Time, error) {
+	p, found, at, err := loadFlattenProgress(at, img)
+	if err != nil {
+		return nil, at, err
+	}
+	if !found {
+		return nil, at, ErrNoFlatten
+	}
+	return &Flattener{img: img, prog: p}, at, nil
+}
+
+// Step processes one object (or, once every object is walked, severs the
+// parent pointer and removes the progress record). It returns done=true
+// when the image is fully flattened.
+func (f *Flattener) Step(at vtime.Time) (done bool, end vtime.Time, err error) {
+	img := f.img
+	parent := img.parentLayer()
+	if f.prog.Done() || parent == nil {
+		// Sever before clearing: if the crash hits between the two, the
+		// surviving record makes Resume re-run this branch (RemoveParent
+		// is idempotent), whereas the opposite order could strand a
+		// fully-copied clone still chained to its parent.
+		if at, err = img.enc.Image().RemoveParent(at); err != nil {
+			return false, at, err
+		}
+		img.detachParent()
+		at, err = f.clearProgress(at)
+		return err == nil, at, err
+	}
+
+	objIdx := f.prog.NextObj
+	bs := img.enc.Options().BlockSize
+	n, at, err := img.enc.CopyupObject(f.pace.Admit(at, 0), objIdx,
+		parentFetch(parent, objIdx, img.enc.Image().ObjectSize(), bs))
+	if err != nil {
+		return false, at, err
+	}
+	f.pace.Charge(2 * int64(n) * bs) // parent read + child write
+	f.prog.NextObj++
+	f.prog.Copied += int64(n)
+	at, err = f.persist(at)
+	return false, at, err
+}
+
+// parentFetch builds the CopyupObject fetch callback for one object: it
+// reads the absent blocks through the parent chain over their maximal
+// contiguous runs; presence of each block in ANY ancestor decides keep
+// (holes everywhere stay holes).
+func parentFetch(parent *layer, objIdx, objectSize, bs int64) func(at vtime.Time, blocks []int64, plain []byte) ([]bool, vtime.Time, error) {
+	return func(at vtime.Time, blocks []int64, plain []byte) ([]bool, vtime.Time, error) {
+		keep := make([]bool, len(blocks))
+		end := at
+		err := forBlockRuns(blocks, func(lo, hi int) error {
+			off := objIdx*objectSize + blocks[lo]*bs
+			e, err := parent.readInto(at, plain[int64(lo)*bs:int64(hi)*bs], off, keep[lo:hi])
+			if err != nil {
+				return err
+			}
+			end = vtime.Max(end, e)
+			return nil
+		})
+		if err != nil {
+			return nil, at, err
+		}
+		return keep, end, nil
+	}
+}
+
+// Run drives Step until the flatten completes.
+func (f *Flattener) Run(at vtime.Time) (vtime.Time, error) {
+	for {
+		done, end, err := f.Step(at)
+		if err != nil {
+			return end, err
+		}
+		at = end
+		if done {
+			return at, nil
+		}
+	}
+}
+
+// FlattenActive reports whether an image has an unfinished flatten, and
+// its cursor.
+func FlattenActive(at vtime.Time, img *Image) (bool, FlattenProgress, vtime.Time, error) {
+	p, found, end, err := loadFlattenProgress(at, img)
+	return found, p, end, err
+}

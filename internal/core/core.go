@@ -455,6 +455,24 @@ func (e *EncryptedImage) ReadAt(at vtime.Time, p []byte, off int64) (vtime.Time,
 	return e.ReadAtSnap(at, p, off, 0)
 }
 
+// ReadAtSnapPresent is ReadAtSnap with per-block presence reporting:
+// present (len(p)/BlockSize entries; nil to skip) receives, per block of
+// the IO, whether the block was ever written in THIS image. Absent
+// blocks read as zeros, exactly as in ReadAtSnap. The clone layer uses
+// the report to decide which blocks fall through to the parent
+// snapshot and must be filled from there.
+func (e *EncryptedImage) ReadAtSnapPresent(at vtime.Time, p []byte, off int64, snapID uint64, present []bool) (vtime.Time, error) {
+	if present != nil && int64(len(present)) != int64(len(p))/e.opts.BlockSize {
+		return at, fmt.Errorf("core: presence buffer covers %d blocks, IO has %d", len(present), int64(len(p))/e.opts.BlockSize)
+	}
+	for attempt := 0; ; attempt++ {
+		end, err := e.readAtSnapOnce(at, p, off, snapID, present)
+		if !errors.Is(err, errEpochRetiredMidRead) || attempt >= 2 {
+			return end, err
+		}
+	}
+}
+
 // ReadAtSnap reads from a snapshot (0 = head). Stored IVs travel with
 // snapshot clones, so old versions decrypt with their original IVs.
 //
@@ -465,16 +483,11 @@ func (e *EncryptedImage) ReadAt(at vtime.Time, p []byte, off int64) (vtime.Time,
 // size, OMAP keys — see parseReadInto), never from sniffing content, so
 // a legitimately written all-zero-ciphertext block decrypts normally.
 func (e *EncryptedImage) ReadAtSnap(at vtime.Time, p []byte, off int64, snapID uint64) (vtime.Time, error) {
-	for attempt := 0; ; attempt++ {
-		end, err := e.readAtSnapOnce(at, p, off, snapID)
-		if !errors.Is(err, errEpochRetiredMidRead) || attempt >= 2 {
-			return end, err
-		}
-		// A rekey retired the epoch between this attempt's fetch and its
-		// open phase; refetching sees the re-sealed blocks. Genuinely
-		// crypto-erased blocks (epoch already dead at fetch time) fail
-		// immediately without the refetch.
-	}
+	// A rekey may retire an epoch between an attempt's fetch and its open
+	// phase; refetching sees the re-sealed blocks (the retry inside
+	// ReadAtSnapPresent). Genuinely crypto-erased blocks (epoch already
+	// dead at fetch time) fail immediately without the refetch.
+	return e.ReadAtSnapPresent(at, p, off, snapID, nil)
 }
 
 // errEpochRetiredMidRead marks an ErrKeyErased hit on a block whose
@@ -482,7 +495,7 @@ func (e *EncryptedImage) ReadAtSnap(at vtime.Time, p []byte, off int64, snapID u
 // refetch can succeed (the rekey walker re-sealed the block since).
 var errEpochRetiredMidRead = fmt.Errorf("%w (retired mid-read)", ErrKeyErased)
 
-func (e *EncryptedImage) readAtSnapOnce(at vtime.Time, p []byte, off int64, snapID uint64) (vtime.Time, error) {
+func (e *EncryptedImage) readAtSnapOnce(at vtime.Time, p []byte, off int64, snapID uint64, presOut []bool) (vtime.Time, error) {
 	if err := e.checkAligned(p, off); err != nil {
 		return at, err
 	}
@@ -557,6 +570,10 @@ func (e *EncryptedImage) readAtSnapOnce(at vtime.Time, p []byte, off int64, snap
 	err = forExtentBlocks(e.workers, exts, bs, func(ei int, b int64) error {
 		ext := exts[ei]
 		dst := p[ext.BufOff+b*bs : ext.BufOff+(b+1)*bs]
+		if presOut != nil {
+			// Distinct elements written from distinct blocks: race-free.
+			presOut[ext.BufOff/bs+b] = bufs[ei].present[b] != 0
+		}
 		if bufs[ei].present[b] == 0 {
 			// Hole: never written (sparse read).
 			clear(dst)
@@ -821,44 +838,16 @@ func (e *EncryptedImage) RekeyObject(at vtime.Time, objIdx int64) (int, vtime.Ti
 		return 0, end, nil
 	}
 
-	// Build write plans over the contiguous stale runs, plus a map from
-	// stale index to (plan, block-within-plan).
-	type slot struct {
-		plan  *writePlan
-		local int64
-	}
-	slots := make([]slot, len(stale))
-	var plans []*writePlan
-	for i := 0; i < len(stale); {
-		j := i
-		for j+1 < len(stale) && stale[j+1] == stale[j]+1 {
-			j++
-		}
-		w := e.plan.newWritePlan(stale[i], int64(j-i+1))
-		plans = append(plans, w)
-		for k := i; k <= j; k++ {
-			slots[k] = slot{plan: w, local: int64(k - i)}
-		}
-		i = j + 1
+	// Stage write plans over the contiguous stale runs, IVs pre-seeded.
+	plans, slots, err := e.stagePlans(stale)
+	if err != nil {
+		release()
+		return 0, at, err
 	}
 	releasePlans := func() {
 		for _, w := range plans {
 			w.release()
 		}
-	}
-
-	// Fresh randomness for the new IVs.
-	if rl := e.proto.randLen(); rl > 0 {
-		rbuf := getBuf(len(stale) * rl)
-		if _, err := rand.Read(rbuf); err != nil {
-			release()
-			releasePlans()
-			return 0, at, err
-		}
-		for k := range stale {
-			copy(slots[k].plan.metaDst(slots[k].local)[:rl], rbuf[k*rl:])
-		}
-		putBuf(rbuf)
 	}
 
 	// Open under the old epoch, re-seal under the target, on the shared
@@ -926,6 +915,251 @@ func (e *EncryptedImage) RekeyObject(at vtime.Time, objIdx int64) (int, vtime.Ti
 		return 0, at, err
 	}
 	return len(stale), end, nil
+}
+
+// planSlot locates one staged block inside a writePlan.
+type planSlot struct {
+	plan  *writePlan
+	local int64
+}
+
+// stagePlans builds write plans over the contiguous runs of the given
+// sorted object-relative blocks and scatters fresh IV randomness into
+// every block's metadata slot. slots[i] is blocks[i]'s destination. The
+// caller releases every returned plan; on error nothing is retained.
+func (e *EncryptedImage) stagePlans(blocks []int64) ([]*writePlan, []planSlot, error) {
+	slots := make([]planSlot, len(blocks))
+	var plans []*writePlan
+	for i := 0; i < len(blocks); {
+		j := i
+		for j+1 < len(blocks) && blocks[j+1] == blocks[j]+1 {
+			j++
+		}
+		w := e.plan.newWritePlan(blocks[i], int64(j-i+1))
+		plans = append(plans, w)
+		for k := i; k <= j; k++ {
+			slots[k] = planSlot{plan: w, local: int64(k - i)}
+		}
+		i = j + 1
+	}
+	if rl := e.proto.randLen(); rl > 0 {
+		rbuf := getBuf(len(blocks) * rl)
+		if _, err := rand.Read(rbuf); err != nil {
+			for _, w := range plans {
+				w.release()
+			}
+			putBuf(rbuf)
+			return nil, nil, err
+		}
+		for k := range blocks {
+			copy(slots[k].plan.metaDst(slots[k].local)[:rl], rbuf[k*rl:])
+		}
+		putBuf(rbuf)
+	}
+	return plans, slots, nil
+}
+
+// PresentRange reports, per block of the block-aligned range
+// [off, off+length), whether the block was ever written in this image
+// (snapID 0 = head), using the layout's cheapest presence probe — no
+// ciphertext is fetched except under LayoutUnaligned, whose interleaved
+// metadata cannot be addressed separately. The clone layer uses it to
+// answer "would this range fall through to the parent?" without moving
+// data.
+func (e *EncryptedImage) PresentRange(at vtime.Time, off, length int64, snapID uint64) ([]bool, vtime.Time, error) {
+	bs := e.opts.BlockSize
+	if off%bs != 0 || length%bs != 0 || length < 0 {
+		return nil, at, fmt.Errorf("%w: present off=%d len=%d block=%d", ErrAlignment, off, length, bs)
+	}
+	out := make([]bool, length/bs)
+	if length == 0 {
+		return out, at, nil
+	}
+	exts, err := e.img.Extents(off, length)
+	if err != nil {
+		return nil, at, err
+	}
+	probeOne := func(i int) (vtime.Time, error) {
+		ext := exts[i]
+		startBlock := ext.ObjOff / bs
+		nb := ext.Length / bs
+		metas := getBuf(int(nb * e.plan.metaLen))
+		present := getBuf(int(nb))
+		var raw []byte
+		if e.plan.layout == LayoutUnaligned {
+			raw = getBuf(int(e.plan.rawReadLen(nb)))
+		}
+		release := func() {
+			putBuf(metas)
+			putBuf(present)
+			putBuf(raw)
+		}
+		defer release()
+		res, end, err := e.img.Operate(at, ext.ObjIdx, snapID, e.plan.probeOps(startBlock, nb, raw, metas))
+		if err != nil {
+			return at, err
+		}
+		if err := e.plan.parseProbe(startBlock, nb, res, metas, present, nil); err != nil {
+			return at, err
+		}
+		for b := int64(0); b < nb; b++ {
+			out[ext.BufOff/bs+b] = present[b] != 0
+		}
+		return end, nil
+	}
+	end, err := fanOutExtents(at, len(exts), probeOne)
+	if err != nil {
+		return nil, at, err
+	}
+	return out, end, nil
+}
+
+// CopyupObject seals externally supplied plaintext into every block of
+// one striping object that is absent in this image — the clone copyup /
+// flatten primitive. It holds the object's exclusive lock across its
+// probe-fetch-seal-commit cycle, so concurrent writes (shared lock)
+// either land before the probe — and are skipped as already-owned — or
+// after the commit; the same fencing discipline as RekeyObject. fetch is
+// called once, under the lock, with the object-relative indices of the
+// absent blocks and a plaintext buffer to fill (len(blocks) *
+// BlockSize); keep[i] = false leaves blocks[i] a hole (the parent chain
+// had no data either). fetch must not IO back into this image (the lock
+// is held). All copied blocks seal under the current key epoch — sampled
+// under the lock, so a concurrent rekey either re-seals them afterwards
+// (it queues on the same lock) or already advanced the epoch this sample
+// sees — and commit in one atomic transaction. Returns the number of
+// blocks copied.
+func (e *EncryptedImage) CopyupObject(at vtime.Time, objIdx int64,
+	fetch func(at vtime.Time, blocks []int64, plain []byte) (keep []bool, end vtime.Time, err error),
+) (int, vtime.Time, error) {
+	bs := e.opts.BlockSize
+	nbObj := e.plan.objBlocks()
+	nb := nbObj
+	// Clip to the image tail: the last striping object may extend past
+	// the image size, and copyup must not materialize phantom blocks.
+	if maxNb := (e.img.Size()+bs-1)/bs - objIdx*nbObj; maxNb < nb {
+		nb = maxNb
+	}
+	if nb <= 0 {
+		return 0, at, nil
+	}
+	lk := e.locks.of(objIdx)
+	lk.Lock()
+	defer lk.Unlock()
+	epoch := e.ring.currentEpoch()
+	sealer, err := e.ring.cryptorFor(epoch)
+	if err != nil {
+		return 0, at, err
+	}
+
+	// Probe which blocks the image already owns.
+	metas := getBuf(int(nb * e.plan.metaLen))
+	present := getBuf(int(nb))
+	var raw []byte
+	if e.plan.layout == LayoutUnaligned {
+		raw = getBuf(int(e.plan.rawReadLen(nb)))
+	}
+	res, end, err := e.img.Operate(at, objIdx, 0, e.plan.probeOps(0, nb, raw, metas))
+	if err == nil {
+		err = e.plan.parseProbe(0, nb, res, metas, present, nil)
+	}
+	var absent []int64
+	if err == nil {
+		for b := int64(0); b < nb; b++ {
+			if present[b] == 0 {
+				absent = append(absent, b)
+			}
+		}
+	}
+	putBuf(metas)
+	putBuf(present)
+	putBuf(raw)
+	if err != nil {
+		return 0, at, err
+	}
+	if len(absent) == 0 {
+		return 0, end, nil
+	}
+
+	plain := getBuf(len(absent) * int(bs))
+	keep, end, err := fetch(end, absent, plain)
+	if err != nil {
+		putBuf(plain)
+		return 0, at, err
+	}
+	// Compact to the kept blocks, moving plaintext down in place.
+	kept := absent[:0]
+	for i, b := range absent {
+		if i >= len(keep) || !keep[i] {
+			continue
+		}
+		if k := len(kept); k != i {
+			copy(plain[int64(k)*bs:int64(k+1)*bs], plain[int64(i)*bs:int64(i+1)*bs])
+		}
+		kept = append(kept, b)
+	}
+	if len(kept) == 0 {
+		putBuf(plain)
+		return 0, end, nil
+	}
+
+	plans, slots, err := e.stagePlans(kept)
+	if err != nil {
+		putBuf(plain)
+		return 0, at, err
+	}
+	releasePlans := func() {
+		for _, w := range plans {
+			w.release()
+		}
+	}
+	sml := e.schemeMetaLen()
+	err = forBlocks(e.workers, int64(len(kept)), func(lo, hi int64) error {
+		for k := lo; k < hi; k++ {
+			b := kept[k]
+			blockIdx := uint64(objIdx*nbObj + b)
+			meta := slots[k].plan.metaDst(slots[k].local)
+			if int64(len(meta)) > sml { // epoch-tagged slot
+				binary.LittleEndian.PutUint32(meta[sml:], epoch)
+				meta = meta[:sml]
+			}
+			if err := sealer.seal(slots[k].plan.cipherDst(slots[k].local), plain[k*bs:(k+1)*bs], blockIdx, meta); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	putBuf(plain)
+	if err != nil {
+		releasePlans()
+		return 0, at, err
+	}
+	end = e.chargeCrypto(end, int64(len(kept))*bs)
+
+	var ops []rados.Op
+	for _, w := range plans {
+		ops = append(ops, w.ops()...)
+	}
+	dirtyAlloc := false
+	if e.plan.trackAlloc {
+		a, end2, err := e.loadAlloc(end, objIdx)
+		if err != nil {
+			releasePlans()
+			return 0, at, err
+		}
+		end = end2
+		for _, b := range kept {
+			a.set(b, epoch)
+		}
+		dirtyAlloc = true
+		ops = append(ops, rados.Op{Kind: rados.OpSetAttr, Key: []byte(allocAttr), Data: a.encode()})
+	}
+	end, err = e.commitObjectTxn(end, objIdx, ops, dirtyAlloc)
+	releasePlans()
+	if err != nil {
+		return 0, at, err
+	}
+	return len(kept), end, nil
 }
 
 // Discard crypto-erases the block-aligned range [off, off+length): the

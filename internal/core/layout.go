@@ -468,6 +468,152 @@ func (p *planner) parseReadInto(startBlock, nb int64, res []rados.Result, cipher
 	panic("core: unknown layout")
 }
 
+// probeOps builds the cheapest op vector that can answer "which of
+// blocks [startBlock, startBlock+nb) were ever written?" — the presence
+// probe behind clone read-through and copyup, where the caller wants the
+// answer without paying for the ciphertext. Object-end and OMAP layouts
+// fetch only their metadata region; the metadata-free configuration
+// fetches only the allocation sidecar; the unaligned layout has no
+// metadata region of its own to address, so it must fetch its
+// interleaved stream (raw, rawReadLen bytes — the one layout where a
+// probe costs a data read, another point against Fig. 2a). metas
+// receives the object-end metadata read destination; both buffers may be
+// nil over the byte codec. The result shape is always [probe, stat];
+// parseProbe decodes it.
+func (p *planner) probeOps(startBlock, nb int64, raw, metas []byte) []rados.Op {
+	stat := rados.Op{Kind: rados.OpStat}
+	switch p.layout {
+	case LayoutNone:
+		return []rados.Op{{Kind: rados.OpGetAttr, Key: []byte(allocAttr)}, stat}
+	case LayoutUnaligned:
+		stride := p.blockSize + p.metaLen
+		return []rados.Op{{Kind: rados.OpRead, Off: startBlock * stride, Len: nb * stride, Dst: raw}, stat}
+	case LayoutObjectEnd:
+		return []rados.Op{
+			{Kind: rados.OpRead, Off: p.objectSize + startBlock*p.metaLen, Len: nb * p.metaLen, Dst: metas},
+			stat,
+		}
+	case LayoutOMAP:
+		return []rados.Op{
+			{Kind: rados.OpOmapGetRange, Key: omapIVKey(startBlock), Key2: omapIVKey(startBlock + nb)},
+			stat,
+		}
+	}
+	panic("core: unknown layout")
+}
+
+// parseProbe decodes a probeOps result into per-block presence (and,
+// when epochs is non-nil, key-epoch tags), applying exactly the presence
+// rules of parseReadInto. metas is nb*metaLen scratch for the layouts
+// that carry metadata (it receives the decoded slots).
+func (p *planner) parseProbe(startBlock, nb int64, res []rados.Result, metas, present, epochs []byte) error {
+	clear(present[:nb])
+	if epochs != nil {
+		clear(epochs[:nb*epochLen])
+	}
+	st := res[1]
+	if st.Status == rados.StatusNotFound {
+		return nil // object absent: every block a hole
+	}
+	if err := st.Status.Err(); err != nil {
+		return err
+	}
+	size := st.Size
+
+	copyEpochTails := func() {
+		if epochs == nil || !p.epochTagged {
+			return
+		}
+		for b := int64(0); b < nb; b++ {
+			if present[b] != 0 {
+				copy(epochs[b*epochLen:(b+1)*epochLen], metas[(b+1)*p.metaLen-epochLen:(b+1)*p.metaLen])
+			}
+		}
+	}
+
+	switch p.layout {
+	case LayoutNone:
+		if res[0].Status == rados.StatusOK {
+			a, err := decodeObjAlloc(res[0].Data, p.objBlocks())
+			if err != nil {
+				return err
+			}
+			for b := int64(0); b < nb; b++ {
+				if a.present(startBlock + b) {
+					present[b] = 1
+					if epochs != nil {
+						binary.LittleEndian.PutUint32(epochs[b*epochLen:], a.epoch(startBlock+b))
+					}
+				}
+			}
+			return nil
+		}
+		// Pre-sidecar object: logical-size heuristic, implicit epoch 0.
+		for b := int64(0); b < nb; b++ {
+			present[b] = boolByte((startBlock+b+1)*p.blockSize <= size)
+		}
+		return nil
+
+	case LayoutUnaligned:
+		if res[0].Status == rados.StatusNotFound {
+			return nil
+		}
+		if err := res[0].Status.Err(); err != nil {
+			return err
+		}
+		clear(metas[:nb*p.metaLen])
+		stride := p.blockSize + p.metaLen
+		data := res[0].Data
+		for b := int64(0); b < nb; b++ {
+			if (b+1)*stride <= int64(len(data)) {
+				copy(metas[b*p.metaLen:(b+1)*p.metaLen], data[b*stride+p.blockSize:(b+1)*stride])
+			}
+			present[b] = boolByte((startBlock+b+1)*stride <= size &&
+				(p.metaLen == 0 || !allZero(metas[b*p.metaLen:(b+1)*p.metaLen])))
+		}
+		copyEpochTails()
+		return nil
+
+	case LayoutObjectEnd:
+		if res[0].Status == rados.StatusNotFound {
+			return nil
+		}
+		if err := res[0].Status.Err(); err != nil {
+			return err
+		}
+		fillFrom(metas[:nb*p.metaLen], res[0].Data)
+		for b := int64(0); b < nb; b++ {
+			present[b] = boolByte(p.objectSize+(startBlock+b+1)*p.metaLen <= size &&
+				!allZero(metas[b*p.metaLen:(b+1)*p.metaLen]))
+		}
+		copyEpochTails()
+		return nil
+
+	case LayoutOMAP:
+		if res[0].Status == rados.StatusNotFound {
+			return nil
+		}
+		if err := res[0].Status.Err(); err != nil {
+			return err
+		}
+		clear(metas[:nb*p.metaLen])
+		for _, pair := range res[0].Pairs {
+			if len(pair.Key) != omapKeyLen || !bytes.HasPrefix(pair.Key, []byte(omapIVPrefix)) {
+				continue
+			}
+			block := int64(binary.BigEndian.Uint64(pair.Key[len(omapIVPrefix):]))
+			if block < startBlock || block >= startBlock+nb {
+				continue
+			}
+			copy(metas[(block-startBlock)*p.metaLen:], pair.Value)
+			present[block-startBlock] = 1
+		}
+		copyEpochTails()
+		return nil
+	}
+	panic("core: unknown layout")
+}
+
 // discardOps builds the crypto-erase op vector for blocks
 // [startBlock, startBlock+nb): the ciphertext region is overwritten with
 // zeros and the per-block metadata punched (zeroed in place, or the OMAP

@@ -20,13 +20,11 @@
 package keymgr
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/luks"
-	"repro/internal/rados"
 	"repro/internal/vtime"
 )
 
@@ -59,56 +57,37 @@ func (p Progress) Done() bool { return p.NextObj >= p.Objects }
 type Rekeyer struct {
 	img  *core.EncryptedImage
 	prog Progress
+	pace *vtime.Pacer
 }
+
+// SetPace installs a virtual-time admission budget (IOPS + bytes/s caps)
+// on the walker, bounding its interference on foreground IO the way
+// Ceph's osd_recovery limits bound recovery. A nil pacer removes the
+// cap. The same pacer may be shared with other walkers (e.g. a clone
+// flatten) to cap their combined rate.
+func (r *Rekeyer) SetPace(p *vtime.Pacer) { r.pace = p }
 
 // Progress returns the current cursor.
 func (r *Rekeyer) Progress() Progress { return r.prog }
 
 // loadProgress reads the persisted cursor, reporting found=false when no
-// rekey is in flight.
+// rekey is in flight. The on-disk protocol is rbd's shared walker-cursor
+// record (one JSON blob per walker in the header OMAP).
 func loadProgress(at vtime.Time, img *core.EncryptedImage) (Progress, bool, vtime.Time, error) {
-	res, end, err := img.Image().OperateHeader(at, []rados.Op{{
-		Kind: rados.OpOmapGetRange,
-		Key:  []byte(progressKey),
-		Key2: []byte(progressKey + "\x00"),
-	}})
+	var p Progress
+	found, end, err := img.Image().LoadCursor(at, progressKey, &p)
 	if err != nil {
 		return Progress{}, false, at, err
 	}
-	if res[0].Status != rados.StatusOK || len(res[0].Pairs) == 0 {
-		return Progress{}, false, end, nil
-	}
-	var p Progress
-	if err := json.Unmarshal(res[0].Pairs[0].Value, &p); err != nil {
-		return Progress{}, false, at, fmt.Errorf("keymgr: corrupt progress record: %v", err)
-	}
-	return p, true, end, nil
+	return p, found, end, nil
 }
 
 func (r *Rekeyer) persist(at vtime.Time) (vtime.Time, error) {
-	blob, err := json.Marshal(r.prog)
-	if err != nil {
-		return at, err
-	}
-	res, end, err := r.img.Image().OperateHeader(at, []rados.Op{{
-		Kind:  rados.OpOmapSet,
-		Pairs: []rados.Pair{{Key: []byte(progressKey), Value: blob}},
-	}})
-	if err != nil {
-		return at, err
-	}
-	return end, res[0].Status.Err()
+	return r.img.Image().SaveCursor(at, progressKey, r.prog)
 }
 
 func (r *Rekeyer) clearProgress(at vtime.Time) (vtime.Time, error) {
-	res, end, err := r.img.Image().OperateHeader(at, []rados.Op{{
-		Kind:  rados.OpOmapDel,
-		Pairs: []rados.Pair{{Key: []byte(progressKey)}},
-	}})
-	if err != nil {
-		return at, err
-	}
-	return end, res[0].Status.Err()
+	return r.img.Image().ClearCursor(at, progressKey)
 }
 
 // Start begins the next epoch transition. The progress record is
@@ -217,10 +196,14 @@ func (r *Rekeyer) Step(at vtime.Time) (done bool, end vtime.Time, err error) {
 		at, err = r.clearProgress(at)
 		return err == nil, at, err
 	}
-	n, at, err := r.img.RekeyObject(at, r.prog.NextObj)
+	// Pacing: one walker op is admitted against the budget up front; the
+	// bytes actually re-sealed (unknown until the object was examined)
+	// are charged afterwards as debt against the next admission.
+	n, at, err := r.img.RekeyObject(r.pace.Admit(at, 0), r.prog.NextObj)
 	if err != nil {
 		return false, at, err
 	}
+	r.pace.Charge(2 * int64(n) * r.img.Options().BlockSize) // read + re-write
 	r.prog.NextObj++
 	r.prog.Rekeyed += int64(n)
 	at, err = r.persist(at)

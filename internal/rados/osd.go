@@ -392,6 +392,19 @@ func (o *OSD) executeWrite(at vtime.Time, st *blobstore.Store, fullName string, 
 	}
 
 	if doDelete {
+		// An object's snapshot clones die with its head: the snapset that
+		// could resolve them is stored on the head, so deleting only the
+		// head would leak the clone blobs in the store forever (and a
+		// later object reusing the name could collide with stale clones).
+		for _, c := range si.clones {
+			end, err := st.Delete(at, cloneName(fullName, c))
+			if err != nil && !errors.Is(err, blobstore.ErrNotFound) {
+				return nil, at, err
+			}
+			if err == nil {
+				at = end
+			}
+		}
 		end, err := st.Delete(at, fullName)
 		if errors.Is(err, blobstore.ErrNotFound) {
 			for i := range results {

@@ -35,13 +35,26 @@ type SnapInfo struct {
 	Name string `json:"name"`
 }
 
+// ParentSpec names the parent snapshot a cloned image reads through
+// until it is flattened — the layering pointer of RBD's golden-image
+// workflow. The pointer is pure metadata: the child's data objects are
+// its own, and blocks absent there fall through to the parent snapshot
+// (internal/clone owns that resolution, including the per-layer keys).
+type ParentSpec struct {
+	Pool     string `json:"pool"`
+	Image    string `json:"image"`
+	SnapID   uint64 `json:"snap_id"`
+	SnapName string `json:"snap_name,omitempty"`
+}
+
 // header is the persistent image metadata (the rbd_header object).
 type header struct {
-	Size       int64      `json:"size"`
-	ObjectSize int64      `json:"object_size"`
-	SnapSeq    uint64     `json:"snap_seq"`
-	Snaps      []SnapInfo `json:"snaps"`
-	Encryption []byte     `json:"encryption,omitempty"` // LUKS container blob
+	Size       int64       `json:"size"`
+	ObjectSize int64       `json:"object_size"`
+	SnapSeq    uint64      `json:"snap_seq"`
+	Snaps      []SnapInfo  `json:"snaps"`
+	Encryption []byte      `json:"encryption,omitempty"` // LUKS container blob
+	Parent     *ParentSpec `json:"parent,omitempty"`     // clone layering pointer
 }
 
 // Image is an open image handle. All methods are safe for concurrent use.
@@ -118,6 +131,9 @@ func Open(at vtime.Time, client *rados.Client, pool, name string) (*Image, vtime
 // Name returns the image name.
 func (img *Image) Name() string { return img.name }
 
+// Pool returns the pool the image lives in.
+func (img *Image) Pool() string { return img.pool }
+
 // Size returns the image size in bytes.
 func (img *Image) Size() int64 {
 	img.mu.Lock()
@@ -176,6 +192,76 @@ func (img *Image) CreateSnap(at vtime.Time, name string) (uint64, vtime.Time, er
 
 	end, err := writeHeader(at, img.client, img.pool, img.name, &hdr)
 	return id, end, err
+}
+
+// Parent returns the clone parent pointer, or nil for a non-layered
+// (or already flattened) image.
+func (img *Image) Parent() *ParentSpec {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	if img.hdr.Parent == nil {
+		return nil
+	}
+	p := *img.hdr.Parent
+	return &p
+}
+
+// SetParent persists the clone parent pointer. It refuses to re-link an
+// image that already has a parent (layer chains are built by cloning
+// clones, never by rewriting a link).
+func (img *Image) SetParent(at vtime.Time, p ParentSpec) (vtime.Time, error) {
+	img.mu.Lock()
+	if img.hdr.Parent != nil {
+		img.mu.Unlock()
+		return at, fmt.Errorf("%w: image %s already has a parent", ErrExists, img.name)
+	}
+	img.hdr.Parent = &p
+	hdr := img.hdr
+	img.mu.Unlock()
+	return writeHeader(at, img.client, img.pool, img.name, &hdr)
+}
+
+// RemoveParent severs the clone parent pointer — the final step of a
+// flatten, after every inherited block has been copied into the child.
+// Removing an absent pointer is a no-op (flatten resume idempotence).
+func (img *Image) RemoveParent(at vtime.Time) (vtime.Time, error) {
+	img.mu.Lock()
+	if img.hdr.Parent == nil {
+		img.mu.Unlock()
+		return at, nil
+	}
+	img.hdr.Parent = nil
+	hdr := img.hdr
+	img.mu.Unlock()
+	return writeHeader(at, img.client, img.pool, img.name, &hdr)
+}
+
+// Remove deletes an image: every data object, then the header. Snapshot
+// clones held at the OSDs are deleted with their head objects. It is the
+// caller's job to ensure no clone still references the image as parent.
+func Remove(at vtime.Time, client *rados.Client, pool, name string) (vtime.Time, error) {
+	img, at, err := Open(at, client, pool, name)
+	if err != nil {
+		return at, err
+	}
+	objects := (img.Size() + img.ObjectSize() - 1) / img.ObjectSize()
+	for idx := int64(0); idx < objects; idx++ {
+		res, end, err := client.Operate(at, pool, img.ObjectName(idx), rados.SnapContext{}, 0,
+			[]rados.Op{{Kind: rados.OpDelete}})
+		if err != nil {
+			return at, err
+		}
+		if res[0].Status != rados.StatusOK && res[0].Status != rados.StatusNotFound {
+			return at, res[0].Status.Err()
+		}
+		at = end
+	}
+	res, end, err := client.Operate(at, pool, headerObject(name), rados.SnapContext{}, 0,
+		[]rados.Op{{Kind: rados.OpDelete}})
+	if err != nil {
+		return at, err
+	}
+	return end, res[0].Status.Err()
 }
 
 // SetEncryptionBlob persists the encryption container (LUKS header blob)

@@ -271,3 +271,127 @@ func TestEncodeBlockIndexOrdering(t *testing.T) {
 		t.Fatal("big-endian ordering broken")
 	}
 }
+
+func TestParentPointerRoundTrip(t *testing.T) {
+	cl := testClient(t)
+	if _, err := CreateWithObjectSize(0, cl, "rbd", "child", 4<<20, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	img, _, err := Open(0, cl, "rbd", "child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Parent() != nil {
+		t.Fatal("fresh image has a parent")
+	}
+	spec := ParentSpec{Pool: "rbd", Image: "base", SnapID: 7, SnapName: "golden"}
+	if _, err := img.SetParent(0, spec); err != nil {
+		t.Fatal(err)
+	}
+	// Re-linking is refused.
+	if _, err := img.SetParent(0, spec); !errors.Is(err, ErrExists) {
+		t.Fatalf("double SetParent: %v", err)
+	}
+	// The pointer persists across Open.
+	img2, _, err := Open(0, cl, "rbd", "child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := img2.Parent(); got == nil || *got != spec {
+		t.Fatalf("parent pointer %+v, want %+v", got, spec)
+	}
+	// Severing persists too, and is idempotent.
+	if _, err := img2.RemoveParent(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img2.RemoveParent(0); err != nil {
+		t.Fatal(err)
+	}
+	img3, _, err := Open(0, cl, "rbd", "child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img3.Parent() != nil {
+		t.Fatal("parent pointer survived RemoveParent")
+	}
+}
+
+func TestRemoveImage(t *testing.T) {
+	cl := testClient(t)
+	if _, err := CreateWithObjectSize(0, cl, "rbd", "gone", 2<<20, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	img, _, err := Open(0, cl, "rbd", "gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xCD}, 8192)
+	if _, err := img.WriteAt(0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Remove(0, cl, "rbd", "gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(0, cl, "rbd", "gone"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("open after remove: %v", err)
+	}
+	// The name is reusable and the old data objects are gone.
+	if _, err := CreateWithObjectSize(0, cl, "rbd", "gone", 2<<20, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	img2, _, err := Open(0, cl, "rbd", "gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8192)
+	if _, err := img2.ReadAt(0, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 8192)) {
+		t.Fatal("recreated image sees stale data")
+	}
+}
+
+// TestRemovePurgesSnapshotClones pins that Remove deletes the OSD-side
+// snapshot clone objects with the head: recreating an image under the
+// same name and snapshotting it again reuses the same snap ids, and a
+// leaked clone blob would make the clone-on-write of the new image fail
+// (the blobstore refuses to clone onto an existing object) or resolve
+// snapshot reads to the dead image's data.
+func TestRemovePurgesSnapshotClones(t *testing.T) {
+	cl := testClient(t)
+	round := func(fill byte) {
+		t.Helper()
+		if _, err := CreateWithObjectSize(0, cl, "rbd", "churn", 2<<20, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		img, _, err := Open(0, cl, "rbd", "churn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := bytes.Repeat([]byte{fill}, 8192)
+		if _, err := img.WriteAt(0, before, 0); err != nil {
+			t.Fatal(err)
+		}
+		id, _, err := img.CreateSnap(0, "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Overwrite: triggers clone-on-write at the OSDs for snap id.
+		if _, err := img.WriteAt(0, bytes.Repeat([]byte{fill + 1}, 8192), 0); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8192)
+		if _, err := img.ReadAtSnap(0, got, 0, id); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, before) {
+			t.Fatalf("snapshot (fill 0x%02x) resolved to stale clone data", fill)
+		}
+		if _, err := Remove(0, cl, "rbd", "churn"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round(0x10)
+	round(0x20) // same name, same snap ids: collides with any leaked clone
+}

@@ -1,0 +1,65 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilPacerIsFree(t *testing.T) {
+	var p *Pacer
+	if got := p.Admit(1234, 1<<20); got != 1234 {
+		t.Fatalf("nil pacer delayed admission: %v", got)
+	}
+	p.Charge(1 << 30) // must not panic
+}
+
+func TestPacerIOPSCap(t *testing.T) {
+	p := NewPacer(100, 0) // 100 ops/s -> 10ms per op
+	var at Time
+	for i := 0; i < 10; i++ {
+		at = p.Admit(at, 0)
+	}
+	// The 10th op starts 9 op-slots after the first.
+	if want := Time(9 * 10 * time.Millisecond); at != want {
+		t.Fatalf("10th admission at %v, want %v", at, want)
+	}
+}
+
+func TestPacerBandwidthCap(t *testing.T) {
+	p := NewPacer(0, 1<<20) // 1 MiB/s
+	start := p.Admit(0, 1<<20)
+	if start != 0 {
+		t.Fatalf("idle pacer delayed first op to %v", start)
+	}
+	// The second op waits out the first op's ~1s byte budget.
+	next := p.Admit(0, 1)
+	if d := time.Duration(next); d < 990*time.Millisecond || d > 1010*time.Millisecond {
+		t.Fatalf("second admission at %v, want ~1s", d)
+	}
+}
+
+func TestPacerChargePostsDebt(t *testing.T) {
+	p := NewPacer(0, 1<<20)
+	if got := p.Admit(0, 0); got != 0 {
+		t.Fatalf("first admission delayed: %v", got)
+	}
+	p.Charge(1 << 19) // half a second of debt at 1 MiB/s
+	next := p.Admit(0, 0)
+	if d := time.Duration(next); d < 490*time.Millisecond || d > 510*time.Millisecond {
+		t.Fatalf("post-charge admission at %v, want ~500ms", d)
+	}
+}
+
+func TestPacerBurstAfterIdle(t *testing.T) {
+	p := NewPacer(1000, 0)
+	p.Admit(0, 0)
+	// Arriving long after the frontier, the op starts immediately and no
+	// credit accumulates beyond one op.
+	late := Time(10 * time.Second)
+	if got := p.Admit(late, 0); got != late {
+		t.Fatalf("late arrival delayed to %v", got)
+	}
+	if got := p.Admit(late, 0); got != late.Add(time.Millisecond) {
+		t.Fatalf("burst exceeded rate: next admission at %v", got)
+	}
+}

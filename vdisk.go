@@ -16,7 +16,12 @@
 // Beyond the paper's figures, the per-block metadata also carries a
 // key-epoch tag, unlocking the key-lifecycle workloads length-preserving
 // encryption cannot offer: online re-keying under live IO
-// (internal/keymgr) and crypto-erase discard (EncryptedImage.Discard).
+// (internal/keymgr), crypto-erase discard (EncryptedImage.Discard), and
+// encrypted layered clones (internal/clone) — the paper's golden-image
+// scenario, where each tenant's copy-on-write clone of a shared base
+// snapshot is sealed under the tenant's own key, reads resolve through
+// the layer chain with per-layer keys, and an online Flatten walker can
+// sever the chain under live IO.
 //
 // This root package is a convenience facade over the internal packages:
 //
@@ -33,6 +38,7 @@
 package repro
 
 import (
+	"repro/internal/clone"
 	"repro/internal/core"
 	"repro/internal/fio"
 	"repro/internal/keymgr"
@@ -69,6 +75,16 @@ type (
 	Rekeyer = keymgr.Rekeyer
 	// RekeyProgress is the persisted rekey cursor.
 	RekeyProgress = keymgr.Progress
+	// ClonedImage is a layered encrypted image (see internal/clone).
+	ClonedImage = clone.Image
+	// Keychain maps image names to layer passphrases for clone chains.
+	Keychain = clone.Keychain
+	// Flattener drives an online clone flatten (see internal/clone).
+	Flattener = clone.Flattener
+	// FlattenProgress is the persisted flatten cursor.
+	FlattenProgress = clone.FlattenProgress
+	// Pacer is a virtual-time admission budget for background walkers.
+	Pacer = vtime.Pacer
 )
 
 // Schemes and layouts.
@@ -156,4 +172,45 @@ func StartRekey(img *EncryptedImage) (*Rekeyer, error) {
 func ResumeRekey(img *EncryptedImage) (*Rekeyer, error) {
 	r, _, err := keymgr.Resume(0, img)
 	return r, err
+}
+
+// NewPacer builds a walker admission budget capping iops operations and
+// bytesPerSec payload bytes per second of virtual time (non-positive =
+// uncapped); hand it to Rekeyer.SetPace / Flattener.SetPace. One pacer
+// shared by several walkers caps their combined rate.
+func NewPacer(iops, bytesPerSec float64) *Pacer { return vtime.NewPacer(iops, bytesPerSec) }
+
+// CloneEncryptedImage creates childName as an encrypted copy-on-write
+// clone of parentName@snapName — the golden-image flow: the child gets
+// the parent's geometry, a parent link, and its OWN key container
+// (keys[childName]), while inherited blocks keep decrypting under the
+// parent's keys on read-through. The keychain must hold passphrases for
+// every layer of the chain.
+func CloneEncryptedImage(client *Client, pool, parentName, snapName, childName string, keys Keychain, opts Options) (*ClonedImage, error) {
+	img, _, err := clone.Create(0, client, pool, parentName, snapName, childName, keys, opts)
+	return img, err
+}
+
+// OpenClonedImage opens a layered image and its parent chain. It also
+// opens flattened (or never-layered) encrypted images, which need only
+// their own key.
+func OpenClonedImage(client *Client, pool, name string, keys Keychain) (*ClonedImage, error) {
+	img, _, err := clone.Open(0, client, pool, name, keys)
+	return img, err
+}
+
+// StartFlatten begins copying every still-inherited block of a clone
+// into the child (re-sealed under the child's key) so the parent link
+// can be severed; drive it with Run (or Step). The walk is
+// crash-resumable via ResumeFlatten.
+func StartFlatten(img *ClonedImage) (*Flattener, error) {
+	f, _, err := clone.StartFlatten(0, img)
+	return f, err
+}
+
+// ResumeFlatten reattaches to an interrupted flatten after a client
+// restart or crash.
+func ResumeFlatten(img *ClonedImage) (*Flattener, error) {
+	f, _, err := clone.ResumeFlatten(0, img)
+	return f, err
 }
