@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -70,12 +71,14 @@ func main() {
 	}
 	fmt.Printf("preconditioned %d MiB image (%v/%v)\n", *imageMB, scheme, layout)
 
+	wallStart := time.Now()
 	res, err := fio.Run(fio.Spec{
 		Pattern:    pattern,
 		BlockSize:  *bsKB << 10,
 		QueueDepth: *qd,
 		TotalOps:   *ops,
 	}, enc, now)
+	res.WallTime = time.Since(wallStart)
 	if err != nil {
 		log.Fatal(err)
 	}

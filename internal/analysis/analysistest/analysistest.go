@@ -1,0 +1,235 @@
+// Package analysistest runs one analyzer over seeded fixture packages
+// and checks its diagnostics against // want "regexp" comments, the
+// same contract as golang.org/x/tools/go/analysis/analysistest (which
+// this module cannot depend on). Fixtures live under
+//
+//	<analyzer dir>/testdata/src/<pkg>/...
+//
+// and are plain Go source — never compiled into the module — with one
+// expectation comment per intended diagnostic:
+//
+//	b = append(b, 0) // want "wire-aliased"
+//
+// Every line carrying a // want comment must produce a diagnostic whose
+// message matches the regexp, and every diagnostic must land on a line
+// that wants it. Fixture packages are type-checked from source against
+// the real standard library plus stub dependency packages placed as
+// sibling directories under testdata/src (e.g. testdata/src/rados).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run analyzes each named fixture package under dir/testdata/src and
+// reports expectation mismatches as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(dir, "testdata", "src")
+	ld := newLoader(srcRoot)
+	for _, pkg := range pkgs {
+		runPackage(t, ld, a, pkg)
+	}
+}
+
+func runPackage(t *testing.T, ld *loader, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	u, err := ld.load(pkg)
+	if err != nil {
+		t.Errorf("%s: loading fixture package %s: %v", a.Name, pkg, err)
+		return
+	}
+	diags, err := analysis.RunAnalyzers(u, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Errorf("%s: %v", a.Name, err)
+		return
+	}
+
+	wants := collectWants(t, u)
+
+	// Match every diagnostic against a want on its line, and every want
+	// against at least one diagnostic.
+	for _, d := range diags {
+		pos := u.Fset.Position(d.Pos)
+		key := lineKey{pos.Filename, pos.Line}
+		w, ok := wants[key]
+		switch {
+		case !ok:
+			t.Errorf("%s: unexpected diagnostic at %s: %s", a.Name, pos, d.Message)
+		case !w.re.MatchString(d.Message):
+			t.Errorf("%s: diagnostic at %s does not match want %q: %s", a.Name, pos, w.re, d.Message)
+		default:
+			w.matched = true
+		}
+	}
+	var missed []string
+	for key, w := range wants {
+		if !w.matched {
+			missed = append(missed, fmt.Sprintf("%s:%d: want %q", key.file, key.line, w.re))
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Errorf("%s: no diagnostic at %s", a.Name, m)
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// collectWants extracts // want "regexp" expectations, keyed by the
+// line the comment sits on.
+func collectWants(t *testing.T, u *analysis.Unit) map[lineKey]*want {
+	t.Helper()
+	wants := make(map[lineKey]*want)
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := unquoteWant(m[1])
+				if err != nil {
+					t.Errorf("bad want pattern %q: %v", m[1], err)
+					continue
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Errorf("bad want regexp %q: %v", pat, err)
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				wants[lineKey{pos.Filename, pos.Line}] = &want{re: re}
+			}
+		}
+	}
+	return wants
+}
+
+// unquoteWant undoes the \" and \\ escapes allowed inside the quoted
+// pattern.
+func unquoteWant(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			if i+1 >= len(s) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}
+
+// loader type-checks fixture packages from source. Imports resolve
+// first to sibling fixture directories under srcRoot (stub packages the
+// fixtures share), then to the real standard library via the source
+// importer.
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*loaded
+}
+
+type loaded struct {
+	unit *analysis.Unit
+	err  error
+}
+
+func newLoader(srcRoot string) *loader {
+	// The source importer type-checks stdlib packages from GOROOT
+	// source; cgo files in packages like os/user cannot be handled, so
+	// pretend cgo is off (the pure-Go fallbacks typecheck fine). The
+	// importer captures &build.Default, so the global must be flipped.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &loader{
+		srcRoot: srcRoot,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*loaded),
+	}
+}
+
+func (ld *loader) load(path string) (*analysis.Unit, error) {
+	if l, ok := ld.pkgs[path]; ok {
+		return l.unit, l.err
+	}
+	l := &loaded{}
+	ld.pkgs[path] = l
+	l.unit, l.err = ld.loadUncached(path)
+	return l.unit, l.err
+}
+
+func (ld *loader) loadUncached(path string) (*analysis.Unit, error) {
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importerFunc(ld.importPkg)}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Unit{Fset: ld.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// importPkg resolves an import from fixture code: fixture sibling
+// directory first, standard library second.
+func (ld *loader) importPkg(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(ld.srcRoot, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		u, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

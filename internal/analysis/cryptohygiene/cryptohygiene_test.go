@@ -1,0 +1,11 @@
+package cryptohygiene
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCryptohygiene(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "kdf", "util")
+}

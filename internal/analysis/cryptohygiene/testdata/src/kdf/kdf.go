@@ -1,0 +1,32 @@
+// Package kdf seeds cryptohygiene violations and clean counterparts in
+// a package named like a crypto package.
+package kdf
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"fmt"
+	mrand "math/rand" // want "math/rand imported in a crypto package"
+)
+
+var _ = mrand.Int
+
+func badTagCompare(tag, expect []byte) bool {
+	return bytes.Equal(tag, expect) // want "variable-time"
+}
+
+func badKeyLog(key []byte) error {
+	return fmt.Errorf("derive failed for key %x", key) // want "must not be formatted"
+}
+
+func okSubtleCompare(tag, expect []byte) bool {
+	return subtle.ConstantTimeCompare(tag, expect) == 1
+}
+
+func okKeyLength(key []byte) error {
+	return fmt.Errorf("bad key length %d", len(key))
+}
+
+func okPlainData(data []byte) string {
+	return fmt.Sprintf("%d bytes", len(data))
+}

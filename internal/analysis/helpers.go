@@ -1,0 +1,110 @@
+package analysis
+
+// helpers.go holds the small set of go/types lookups every analyzer in
+// the suite needs: resolving a call to its *types.Func, walking an
+// expression back to its root identifier, and classifying functions by
+// defining package. They live here rather than per-analyzer so the
+// matching rules (package-name based, so analysistest fixtures can stand
+// in for the real packages) stay identical across the suite.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves the function or method a call expression invokes,
+// or nil when the callee is not a declared function (a function-typed
+// variable, a conversion, a builtin).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// IsPkgLevel reports whether f is a package-level function (no receiver).
+func IsPkgLevel(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// FuncPkgName returns the bare name of f's defining package, or "".
+func FuncPkgName(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Name()
+}
+
+// RootIdent walks selector, index, slice, star and paren chains back to
+// the base identifier: RootIdent(q.Ops[i].Data[1:]) is q. It returns nil
+// when the chain bottoms out in something else (a call, a literal).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ObjectOf resolves an identifier to the variable it denotes, through
+// both uses and defs, or nil.
+func ObjectOf(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// IsMutex reports whether t is sync.Mutex, sync.RWMutex, or a pointer to
+// either.
+func IsMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// ContainsCall reports whether the expression tree contains any call
+// expression — used to spot values that were fetched from an accessor
+// (e.g. a lock handed out by a striped lock table) rather than named
+// directly.
+func ContainsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

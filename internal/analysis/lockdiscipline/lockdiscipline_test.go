@@ -1,0 +1,11 @@
+package lockdiscipline
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLockdiscipline(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "core")
+}

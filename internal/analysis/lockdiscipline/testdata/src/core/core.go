@@ -1,0 +1,71 @@
+// Package core seeds lockdiscipline violations and the intentional
+// clean shapes the analyzer must NOT flag.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"rados"
+)
+
+type lockTable struct{ mu [16]sync.Mutex }
+
+func (t *lockTable) of(i int) *sync.Mutex { return &t.mu[i%16] }
+
+type engine struct {
+	locks lockTable
+	mu    sync.Mutex
+	conn  *rados.Conn
+}
+
+func (e *engine) WriteAt(p []byte, off int64) (int, error) { return len(p), nil }
+
+func (e *engine) badNestedStripe(i, j int) {
+	lk := e.locks.of(i)
+	lk.Lock()
+	defer lk.Unlock()
+	e.locks.of(j).Lock() // want "second striped table lock"
+}
+
+func (e *engine) badReentrantEntry(i int, p []byte) {
+	lk := e.locks.of(i)
+	lk.Lock()
+	defer lk.Unlock()
+	_, _ = e.WriteAt(p, 0) // want "re-acquires the per-object stripe"
+}
+
+func (e *engine) badBlockingUnderMutex(oid string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_ = e.conn.Operate(oid) // want "blocking wire call"
+}
+
+func (e *engine) badSleepUnderLock() {
+	e.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding"
+	e.mu.Unlock()
+}
+
+// okOperateUnderStripe is the engine's intentional serialization shape:
+// the per-object stripe IS the I/O serialization point.
+func (e *engine) okOperateUnderStripe(i int, oid string) {
+	lk := e.locks.of(i)
+	lk.Lock()
+	defer lk.Unlock()
+	_ = e.conn.Operate(oid)
+}
+
+func (e *engine) okOperateAfterUnlock(oid string) {
+	e.mu.Lock()
+	e.conn = &rados.Conn{}
+	e.mu.Unlock()
+	_ = e.conn.Operate(oid)
+}
+
+func (e *engine) okDeferredWork(i int, p []byte) {
+	lk := e.locks.of(i)
+	lk.Lock()
+	defer func() { _, _ = e.WriteAt(p, 0) }()
+	lk.Unlock()
+}

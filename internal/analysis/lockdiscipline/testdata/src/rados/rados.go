@@ -1,0 +1,6 @@
+// Package rados is a fixture stub standing in for repro/internal/rados.
+package rados
+
+type Conn struct{}
+
+func (*Conn) Operate(oid string) error { return nil }

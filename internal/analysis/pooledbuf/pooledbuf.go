@@ -1,0 +1,277 @@
+// Package pooledbuf checks the bufpool ownership discipline. Pooled
+// buffers are the reason the datapath runs allocation-free, and the
+// contract (bufpool's doc comment) is strict: after Put the caller must
+// not retain any view into the buffer. A use after Put reads — or
+// worse, writes — memory that a concurrent IO may already own; a double
+// Put hands the same backing array to two owners at once; a buffer
+// stashed in a struct field, map or package variable outlives the
+// function that balances its Put. The checks are intra-procedural and
+// conservative (straight-line statement sequences only), which is
+// exactly the shape real violations take; the bufpoolcheck build tag
+// adds a runtime backstop for what this cannot prove statically.
+package pooledbuf
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "pooledbuf",
+	Doc:  "flags bufpool buffers used or re-Put after Put, and pooled buffers retained in fields, maps, globals or stored closures",
+	Run:  run,
+}
+
+// isGetCall matches bufpool.Get/GetZero and the conventional local
+// wrappers (core's getBuf/getZeroBuf).
+func isGetCall(info *types.Info, call *ast.CallExpr) bool {
+	f := analysis.CalleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	if analysis.FuncPkgName(f) == "bufpool" && (f.Name() == "Get" || f.Name() == "GetZero") {
+		return true
+	}
+	return f.Name() == "getBuf" || f.Name() == "getZeroBuf"
+}
+
+// isPutCall matches bufpool.Put and the conventional wrappers.
+func isPutCall(info *types.Info, call *ast.CallExpr) bool {
+	f := analysis.CalleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	if analysis.FuncPkgName(f) == "bufpool" && f.Name() == "Put" {
+		return true
+	}
+	return f.Name() == "putBuf"
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		pooled := collectPooledVars(pass, file)
+		if len(pooled) == 0 {
+			continue
+		}
+		checkRetention(pass, file, pooled)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.BlockStmt:
+				scanList(pass, s.List, pooled)
+			case *ast.CaseClause:
+				scanList(pass, s.Body, pooled)
+			case *ast.CommClause:
+				scanList(pass, s.Body, pooled)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectPooledVars finds every variable bound to a pool Get result.
+func collectPooledVars(pass *analysis.Pass, file *ast.File) map[*types.Var]bool {
+	pooled := make(map[*types.Var]bool)
+	bind := func(lhs, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isGetCall(pass.TypesInfo, call) {
+			return
+		}
+		if id, ok := lhs.(*ast.Ident); ok {
+			if v := analysis.ObjectOf(pass.TypesInfo, id); v != nil {
+				pooled[v] = true
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					bind(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) == len(s.Values) {
+				for i := range s.Names {
+					bind(s.Names[i], s.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return pooled
+}
+
+// directPut returns the pooled variable a statement Puts, when the
+// statement is a plain (non-deferred) Put call.
+func directPut(pass *analysis.Pass, stmt ast.Stmt, pooled map[*types.Var]bool) *types.Var {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || !isPutCall(pass.TypesInfo, call) || len(call.Args) != 1 {
+		return nil
+	}
+	root := analysis.RootIdent(call.Args[0])
+	if root == nil {
+		return nil
+	}
+	if v := analysis.ObjectOf(pass.TypesInfo, root); v != nil && pooled[v] {
+		return v
+	}
+	return nil
+}
+
+// scanList walks one straight-line statement sequence: after a Put of a
+// pooled variable, any later use in the same sequence is a
+// use-after-Put, and a second Put is a double Put. A reassignment of
+// the variable (it now names a different buffer) ends tracking.
+func scanList(pass *analysis.Pass, list []ast.Stmt, pooled map[*types.Var]bool) {
+	for i, stmt := range list {
+		v := directPut(pass, stmt, pooled)
+		if v == nil {
+			continue
+		}
+	after:
+		for _, later := range list[i+1:] {
+			switch {
+			case reassigns(pass, later, v):
+				break after
+			case directPut(pass, later, pooled) == v:
+				pass.Reportf(later.Pos(), "double Put of pooled buffer %s: it was already returned to bufpool above", v.Name())
+				break after
+			default:
+				if pos, ok := firstUse(pass, later, v); ok {
+					pass.Reportf(pos, "pooled buffer %s used after Put: the pool may already have handed its memory to another owner", v.Name())
+					break after
+				}
+			}
+		}
+	}
+}
+
+// reassigns reports whether the statement assigns a new value to v.
+func reassigns(pass *analysis.Pass, stmt ast.Stmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return !found
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && analysis.ObjectOf(pass.TypesInfo, id) == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// firstUse returns the position of the first reference to v inside the
+// statement.
+func firstUse(pass *analysis.Pass, stmt ast.Stmt, v *types.Var) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			pos, found = id.Pos(), true
+		}
+		return !found
+	})
+	return pos, found
+}
+
+// checkRetention flags pooled buffers escaping into places that outlive
+// the Get/Put pair: struct fields, maps/slices reached by index, package
+// variables, and closures stored into any of those.
+func checkRetention(pass *analysis.Pass, file *ast.File, pooled map[*types.Var]bool) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			sink := sinkKind(pass, as.Lhs[i])
+			if sink == "" {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if v := pooledRoot(pass, rhs, pooled); v != nil {
+				pass.Reportf(as.Rhs[i].Pos(), "pooled buffer %s stored in %s escapes its Put scope; copy it into an owned buffer instead", v.Name(), sink)
+				continue
+			}
+			if lit, ok := rhs.(*ast.FuncLit); ok {
+				if v := capturedPooled(pass, lit, pooled); v != nil {
+					pass.Reportf(rhs.Pos(), "closure stored in %s captures pooled buffer %s, retaining it past its Put", sink, v.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sinkKind classifies an assignment target that outlives the enclosing
+// function's locals; "" means a plain local (fine).
+func sinkKind(pass *analysis.Pass, lhs ast.Expr) string {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		// Skip qualified package identifiers resolving to locals of
+		// other packages — a selector on a value is a field write.
+		if sel := pass.TypesInfo.Selections[x]; sel != nil {
+			return "a struct field"
+		}
+		return "a package variable"
+	case *ast.IndexExpr:
+		return "a map or slice element"
+	case *ast.Ident:
+		if v := analysis.ObjectOf(pass.TypesInfo, x); v != nil && v.Parent() == pass.Pkg.Scope() {
+			return "a package variable"
+		}
+	}
+	return ""
+}
+
+// pooledRoot resolves an expression to the pooled variable it views, if
+// any: the variable itself or a reslice of it.
+func pooledRoot(pass *analysis.Pass, e ast.Expr, pooled map[*types.Var]bool) *types.Var {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SliceExpr:
+	default:
+		return nil
+	}
+	root := analysis.RootIdent(e)
+	if root == nil {
+		return nil
+	}
+	if v := analysis.ObjectOf(pass.TypesInfo, root); v != nil && pooled[v] {
+		return v
+	}
+	return nil
+}
+
+// capturedPooled returns a pooled variable referenced (but not declared)
+// inside the closure, if any.
+func capturedPooled(pass *analysis.Pass, lit *ast.FuncLit, pooled map[*types.Var]bool) *types.Var {
+	var captured *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && pooled[v] {
+				captured = v
+			}
+		}
+		return captured == nil
+	})
+	return captured
+}

@@ -1,0 +1,11 @@
+package pooledbuf
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestPooledbuf(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "a")
+}

@@ -1,0 +1,65 @@
+// Package a seeds pooledbuf violations and clean counterparts.
+package a
+
+import "bufpool"
+
+type holder struct{ buf []byte }
+
+var global []byte
+
+var hooks = make([]func(), 1)
+
+func useAfterPut() byte {
+	b := bufpool.Get(64)
+	bufpool.Put(b)
+	return b[0] // want "used after Put"
+}
+
+func doublePut() {
+	b := bufpool.Get(64)
+	bufpool.Put(b)
+	bufpool.Put(b) // want "double Put"
+}
+
+func retainField(h *holder) {
+	b := bufpool.Get(64)
+	h.buf = b // want "struct field"
+	bufpool.Put(b)
+}
+
+func retainGlobal() {
+	b := bufpool.Get(64)
+	global = b[:8] // want "package variable"
+}
+
+func retainClosure() {
+	b := bufpool.GetZero(64)
+	hooks[0] = func() { _ = b[0] } // want "closure"
+}
+
+func okBalanced() {
+	b := bufpool.Get(64)
+	b[0] = 1
+	bufpool.Put(b)
+}
+
+func okReassigned() byte {
+	b := bufpool.Get(64)
+	bufpool.Put(b)
+	b = make([]byte, 8)
+	return b[0]
+}
+
+func okDeferred() {
+	b := bufpool.Get(64)
+	defer bufpool.Put(b)
+	b[0] = 1
+}
+
+func okLocalCopy(h *holder) {
+	b := bufpool.Get(64)
+	owned := make([]byte, len(b))
+	copy(owned, b)
+	h.buf = owned
+	bufpool.Put(b)
+}

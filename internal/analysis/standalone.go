@@ -1,0 +1,288 @@
+package analysis
+
+// standalone.go loads this module for analysis without cmd/go's vet
+// driver: `go list -export -deps -test` inventories every package and
+// supplies export data for the out-of-module dependency closure (the
+// standard library), and the module's own packages — the ones the
+// analyzers need syntax for — are parsed and type-checked from source
+// in dependency order against that export data. Test files are covered
+// the same way `go vet` covers them: the in-package test files are
+// checked merged with their package (diagnostics restricted to the test
+// files, which were not seen by the base unit), and external _test
+// packages are checked as their own unit.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Finding is one resolved diagnostic with its source position.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+type listedModule struct {
+	Path string
+	Main bool
+}
+
+type listedPackage struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	Standard     bool
+	Export       string
+	ForTest      string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Module       *listedModule
+}
+
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+const listFields = "-json=ImportPath,Name,Dir,Standard,Export,ForTest,GoFiles,TestGoFiles,XTestGoFiles,Module"
+
+// RunStandalone analyzes the module packages matching patterns (resolved
+// relative to dir) with the given analyzers and returns the findings.
+func RunStandalone(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	// Inventory the full dependency closure, tests included, building
+	// export data as a side effect.
+	closure, err := goList(dir, append([]string{"-export", "-deps", "-test", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	mods := make(map[string]*listedPackage)
+	for _, p := range closure {
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") {
+			continue // synthesized test variants; covered from source below
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && p.Module.Main {
+			mods[p.ImportPath] = p
+		}
+	}
+
+	// The analysis roots are the plain pattern matches, in list order.
+	matches, err := goList(dir, append([]string{listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	exp := newExportImporter(fset, nil, exports, nil)
+
+	parse := func(listed *listedPackage, names []string) ([]*ast.File, error) {
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(listed.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+
+	check := func(path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+		info := NewInfo()
+		var firstErr error
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+			Error: func(err error) {
+				if firstErr == nil {
+					firstErr = err
+				}
+			},
+		}
+		pkg, err := conf.Check(path, fset, files, info)
+		if firstErr != nil {
+			err = firstErr
+		}
+		return pkg, info, err
+	}
+
+	// loadBase type-checks one module package (non-test files) from
+	// source, memoized; imports of other module packages recurse, and
+	// everything else resolves from export data.
+	type basePkg struct {
+		unit *Unit
+		err  error
+	}
+	bases := make(map[string]*basePkg)
+	var loadBase func(path string) (*basePkg, error)
+	var baseImporter importerFunc
+	baseImporter = func(path string) (*types.Package, error) {
+		if _, ok := mods[path]; ok {
+			b, err := loadBase(path)
+			if err != nil {
+				return nil, err
+			}
+			return b.unit.Pkg, nil
+		}
+		return exp.Import(path)
+	}
+	loading := errors.New("loading")
+	loadBase = func(path string) (*basePkg, error) {
+		if b, ok := bases[path]; ok {
+			if b.err == loading {
+				return nil, fmt.Errorf("import cycle through %s", path)
+			}
+			return b, b.err
+		}
+		b := &basePkg{err: loading}
+		bases[path] = b
+		listed := mods[path]
+		files, err := parse(listed, listed.GoFiles)
+		if err == nil {
+			var pkg *types.Package
+			var info *types.Info
+			pkg, info, err = check(path, files, baseImporter)
+			if err == nil {
+				b.unit = &Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}
+			}
+		}
+		b.err = err
+		return b, err
+	}
+
+	var findings []Finding
+	analyze := func(u *Unit) error {
+		diags, err := RunAnalyzers(u, analyzers)
+		if err != nil {
+			return err
+		}
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			if rel, err := filepath.Rel(dir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+			findings = append(findings, Finding{Position: pos, Analyzer: d.Analyzer, Message: d.Message})
+		}
+		return nil
+	}
+
+	for _, m := range matches {
+		listed := mods[m.ImportPath]
+		if listed == nil {
+			continue // pattern matched outside the main module
+		}
+		base, err := loadBase(m.ImportPath)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", m.ImportPath, err)
+		}
+		if err := analyze(base.unit); err != nil {
+			return nil, err
+		}
+
+		// In-package test files: the package re-checked with its test
+		// files merged, reporting only on the test files.
+		var testPkg *types.Package
+		if len(listed.TestGoFiles) > 0 {
+			files, err := parse(listed, append(append([]string{}, listed.GoFiles...), listed.TestGoFiles...))
+			if err != nil {
+				return nil, err
+			}
+			pkg, info, err := check(m.ImportPath, files, baseImporter)
+			if err != nil {
+				return nil, fmt.Errorf("%s [test]: %v", m.ImportPath, err)
+			}
+			testPkg = pkg
+			report := make(map[string]bool, len(listed.TestGoFiles))
+			for _, name := range listed.TestGoFiles {
+				report[filepath.Join(listed.Dir, name)] = true
+			}
+			if err := analyze(&Unit{Fset: fset, Files: files, Pkg: pkg, Info: info, ReportFiles: report}); err != nil {
+				return nil, err
+			}
+		}
+
+		// External test package: its import of the package under test
+		// resolves to the test variant, as in a real test build.
+		if len(listed.XTestGoFiles) > 0 {
+			files, err := parse(listed, listed.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			ownPath := m.ImportPath
+			xImp := importerFunc(func(path string) (*types.Package, error) {
+				if path == ownPath && testPkg != nil {
+					return testPkg, nil
+				}
+				return baseImporter(path)
+			})
+			pkg, info, err := check(m.ImportPath+"_test", files, xImp)
+			if err != nil {
+				return nil, fmt.Errorf("%s [xtest]: %v", m.ImportPath, err)
+			}
+			if err := analyze(&Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		fi, fj := findings[i], findings[j]
+		if fi.Position.Filename != fj.Position.Filename {
+			return fi.Position.Filename < fj.Position.Filename
+		}
+		if fi.Position.Line != fj.Position.Line {
+			return fi.Position.Line < fj.Position.Line
+		}
+		return fi.Position.Column < fj.Position.Column
+	})
+	return findings, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return f(path)
+}

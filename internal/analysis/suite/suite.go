@@ -1,0 +1,22 @@
+// Package suite registers the repo's analyzers in one place, so the
+// standalone driver, the vet-tool unit driver and CI all run the exact
+// same set.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/cryptohygiene"
+	"repro/internal/analysis/lockdiscipline"
+	"repro/internal/analysis/pooledbuf"
+	"repro/internal/analysis/vtimeonly"
+	"repro/internal/analysis/wirealias"
+)
+
+// Analyzers is the full suite, in diagnostic-name order.
+var Analyzers = []*analysis.Analyzer{
+	cryptohygiene.Analyzer,
+	lockdiscipline.Analyzer,
+	pooledbuf.Analyzer,
+	vtimeonly.Analyzer,
+	wirealias.Analyzer,
+}

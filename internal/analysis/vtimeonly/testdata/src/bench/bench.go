@@ -1,0 +1,7 @@
+// Package bench is a harness-side package outside the simulation set:
+// wall-clock use here is fine and must not be flagged.
+package bench
+
+import "time"
+
+func Wall() time.Time { return time.Now() }

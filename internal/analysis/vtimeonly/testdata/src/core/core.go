@@ -1,0 +1,34 @@
+// Package core seeds vtimeonly violations and clean counterparts in a
+// package named like a simulation package.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badNow() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the host clock"
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+}
+
+func badGlobalRand() int {
+	return rand.Int() // want "process-seeded"
+}
+
+func okSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int()
+}
+
+func okPureTypes(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+func okIgnoredWithReason() int64 {
+	//vetrepo:ignore vtimeonly harness-style wall-clock check exercised by the ignore machinery
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,83 @@
+// Package vtimeonly bans wall-clock reads and unseeded randomness in
+// the simulation packages. The whole stack is measured in virtual time
+// (internal/vtime), and the background walkers (rekey, flatten) are
+// crash-resumable only because a replay of the same inputs takes the
+// same decisions: one stray time.Now in a paced walker or one draw from
+// the process-seeded global math/rand source and crash-resume replay,
+// paced-interference measurements and the deterministic fio offset
+// sequences all silently diverge. Seeded generators
+// (rand.New(rand.NewSource(seed))) remain fine; so do time.Duration and
+// the other pure types — only the functions that sample host state are
+// banned.
+package vtimeonly
+
+import (
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// simulationPackages is the set of packages that must run on virtual
+// time, matched by bare package name so analysistest fixtures can stand
+// in for the real packages.
+var simulationPackages = map[string]bool{
+	"core":    true,
+	"rados":   true,
+	"keymgr":  true,
+	"clone":   true,
+	"fio":     true,
+	"msgr":    true,
+	"simdisk": true,
+	"vtime":   true,
+}
+
+// bannedTime are the time functions that sample or schedule against the
+// host clock.
+var bannedTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// allowedRand are the math/rand constructors for explicitly-seeded
+// generators.
+var allowedRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "vtimeonly",
+	Doc:      "bans wall-clock time and global math/rand in the simulation packages (crash-resume and replay determinism)",
+	Packages: simulationPackages,
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for id, obj := range pass.TypesInfo.Uses {
+		f, ok := obj.(*types.Func)
+		if !ok || f.Pkg() == nil || !analysis.IsPkgLevel(f) {
+			continue
+		}
+		switch f.Pkg().Path() {
+		case "time":
+			if bannedTime[f.Name()] {
+				pass.Reportf(id.Pos(), "time.%s reads the host clock; simulation packages are virtual-time only — use vtime timestamps (or move the wall-clock measurement to a harness package)", f.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !allowedRand[f.Name()] {
+				pass.Reportf(id.Pos(), "global %s.%s is process-seeded and nondeterministic; use rand.New(rand.NewSource(seed)) so runs replay", f.Pkg().Path(), f.Name())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package vtimeonly
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestVtimeonly(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "core", "bench")
+}

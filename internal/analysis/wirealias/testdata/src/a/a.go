@@ -1,0 +1,65 @@
+// Package a seeds wirealias violations and clean counterparts.
+package a
+
+import (
+	"bufpool"
+	"rados"
+)
+
+type server struct{ last []byte }
+
+var saved []byte
+
+var callbacks = make(map[string]func() []byte)
+
+func retainField(s *server, buf []byte) {
+	q, _ := rados.UnmarshalRequest(buf)
+	s.last = q.Ops[0].Data // want "struct field"
+}
+
+func retainGlobal(buf []byte) {
+	q, _ := rados.UnmarshalRequest(buf)
+	saved = q.Ops[0].Data // want "package variable"
+}
+
+func retainClosure(buf []byte) {
+	q, _ := rados.UnmarshalRequest(buf)
+	callbacks["x"] = func() []byte { return q.Ops[0].Data } // want "closure"
+}
+
+func mutateAppend(buf []byte) []byte {
+	q, _ := rados.UnmarshalRequest(buf)
+	return append(q.Ops[0].Data, 0) // want "append on wire-aliased"
+}
+
+func mutateElem(buf []byte) {
+	q, _ := rados.UnmarshalRequest(buf)
+	q.Ops[0].Data[0] = 1 // want "write into wire-aliased"
+}
+
+func poisonPool(buf []byte) {
+	r, _ := rados.UnmarshalReply(buf)
+	bufpool.Put(r.Payload) // want "returned to bufpool"
+}
+
+func okCopied(s *server, buf []byte) {
+	q, _ := rados.UnmarshalRequest(buf)
+	owned := make([]byte, len(q.Ops[0].Data))
+	copy(owned, q.Ops[0].Data)
+	s.last = owned
+}
+
+func okLocalUse(buf []byte) int {
+	q, _ := rados.UnmarshalRequest(buf)
+	n := 0
+	for _, op := range q.Ops {
+		n += len(op.Data)
+	}
+	return n
+}
+
+func okOwnedPut(buf []byte) {
+	b := bufpool.Get(64)
+	copy(b, buf)
+	bufpool.Put(b)
+}

@@ -1,0 +1,5 @@
+// Package bufpool is a fixture stub standing in for repro/internal/bufpool.
+package bufpool
+
+func Get(n int) []byte { return make([]byte, n) }
+func Put(b []byte)     {}

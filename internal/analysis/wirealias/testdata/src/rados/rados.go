@@ -1,0 +1,17 @@
+// Package rados is a fixture stub standing in for repro/internal/rados:
+// the two decoders alias their input buffer, like the real ones.
+package rados
+
+type Op struct{ Data []byte }
+
+type Request struct{ Ops []Op }
+
+type Reply struct{ Payload []byte }
+
+func UnmarshalRequest(b []byte) (*Request, error) {
+	return &Request{Ops: []Op{{Data: b}}}, nil
+}
+
+func UnmarshalReply(b []byte) (*Reply, error) {
+	return &Reply{Payload: b}, nil
+}

@@ -1,0 +1,199 @@
+// Package wirealias polices the zero-copy wire contract. The aliasing
+// decoders (rados.UnmarshalRequest / rados.UnmarshalReply) return
+// structures whose byte slices point straight into the transport
+// buffer; that is the whole point of the zero-copy path, and it is safe
+// only while the handler treats those views as read-only and lets them
+// die with the handler frame. Retaining such a slice in a field, map or
+// package variable reads whatever the transport reuses the buffer for
+// next; appending to one (or copying/clearing into one) writes into the
+// live wire buffer; handing one to bufpool.Put poisons the buffer pool
+// with memory the transport still owns. Each of those shapes is flagged
+// here, rooted at variables bound to an aliasing-decoder result.
+package wirealias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wirealias",
+	Doc:  "flags retention or mutation of slices returned by the aliasing wire decoders (rados.UnmarshalRequest/UnmarshalReply)",
+	Run:  run,
+}
+
+// isAliasDecoder matches the wire decoders whose results alias their
+// input, by defining-package name so fixtures can stand in.
+func isAliasDecoder(f *types.Func) bool {
+	return analysis.FuncPkgName(f) == "rados" &&
+		(f.Name() == "UnmarshalRequest" || f.Name() == "UnmarshalReply")
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		aliased := collectAliasVars(pass, file)
+		if len(aliased) == 0 {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, s, aliased)
+			case *ast.CallExpr:
+				checkCall(pass, s, aliased)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectAliasVars finds variables bound to an aliasing decoder result:
+// q in `q, err := rados.UnmarshalRequest(buf)`.
+func collectAliasVars(pass *analysis.Pass, file *ast.File) map[*types.Var]bool {
+	aliased := make(map[*types.Var]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := analysis.CalleeFunc(pass.TypesInfo, call)
+		if f == nil || !isAliasDecoder(f) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if v := analysis.ObjectOf(pass.TypesInfo, id); v != nil {
+				aliased[v] = true
+			}
+		}
+		return true
+	})
+	return aliased
+}
+
+// aliasRooted reports whether the expression is a selector/index/slice
+// chain rooted at an alias variable (q, q.Ops[i].Data, res.Pairs[0].Value...).
+func aliasRooted(pass *analysis.Pass, e ast.Expr, aliased map[*types.Var]bool) *ast.Ident {
+	root := analysis.RootIdent(e)
+	if root == nil {
+		return nil
+	}
+	if v := analysis.ObjectOf(pass.TypesInfo, root); v != nil && aliased[v] {
+		return root
+	}
+	return nil
+}
+
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, aliased map[*types.Var]bool) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lhs, rhs := as.Lhs[i], ast.Unparen(as.Rhs[i])
+
+		// Element writes into an aliased byte slice scribble on the
+		// transport buffer: q.Ops[i].Data[j] = x.
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if root := aliasRooted(pass, ix.X, aliased); root != nil && isByteSlice(pass.TypesInfo.Types[ix.X].Type) {
+				pass.Reportf(lhs.Pos(), "write into wire-aliased slice (rooted at %s): this mutates the transport buffer in place", root.Name)
+				continue
+			}
+		}
+
+		// Retention: an aliased view stored somewhere that outlives the
+		// handler frame.
+		sink := sinkKind(pass, lhs)
+		if sink == "" {
+			continue
+		}
+		if root := aliasRooted(pass, rhs, aliased); root != nil {
+			pass.Reportf(rhs.Pos(), "wire-aliased memory (rooted at %s) stored in %s outlives the handler; the transport will reuse the buffer under it — copy first", root.Name, sink)
+		} else if lit, ok := rhs.(*ast.FuncLit); ok {
+			if root := capturedAlias(pass, lit, aliased); root != nil {
+				pass.Reportf(rhs.Pos(), "closure stored in %s captures wire-aliased %s, retaining transport memory past the handler", sink, root.Name)
+			}
+		}
+	}
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, aliased map[*types.Var]bool) {
+	// Builtins that grow or mutate: append (may write into the aliased
+	// array's spare capacity — here there is none to own), copy into an
+	// aliased destination, clear of an aliased slice.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			switch id.Name {
+			case "append", "copy", "clear":
+				if root := aliasRooted(pass, call.Args[0], aliased); root != nil {
+					pass.Reportf(call.Pos(), "%s on wire-aliased slice (rooted at %s) writes into the transport buffer; copy the bytes into an owned buffer first", id.Name, root.Name)
+				}
+			}
+			return
+		}
+	}
+
+	// Wire-aliased memory must never enter the buffer pool: the
+	// transport owns it, and pooling it hands it to an unrelated IO.
+	f := analysis.CalleeFunc(pass.TypesInfo, call)
+	if f == nil {
+		return
+	}
+	isPut := (analysis.FuncPkgName(f) == "bufpool" && f.Name() == "Put") || f.Name() == "putBuf"
+	if isPut && len(call.Args) == 1 {
+		if root := aliasRooted(pass, call.Args[0], aliased); root != nil {
+			pass.Reportf(call.Pos(), "wire-aliased slice (rooted at %s) returned to bufpool: the pool would recycle memory the transport still owns", root.Name)
+		}
+	}
+}
+
+// sinkKind classifies assignment targets that outlive the handler frame.
+func sinkKind(pass *analysis.Pass, lhs ast.Expr) string {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[x]; sel != nil {
+			return "a struct field"
+		}
+		return "a package variable"
+	case *ast.IndexExpr:
+		return "a map or slice element"
+	case *ast.Ident:
+		if v := analysis.ObjectOf(pass.TypesInfo, x); v != nil && v.Parent() == pass.Pkg.Scope() {
+			return "a package variable"
+		}
+	}
+	return ""
+}
+
+func capturedAlias(pass *analysis.Pass, lit *ast.FuncLit, aliased map[*types.Var]bool) *ast.Ident {
+	var captured *ast.Ident
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && aliased[v] {
+				captured = id
+			}
+		}
+		return captured == nil
+	})
+	return captured
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,11 @@
+package wirealias
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWirealias(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "a")
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fio"
@@ -152,6 +153,17 @@ func Sweep(cfg Config, progress func(string)) (*Series, *Series, error) {
 	return reads, writes, nil
 }
 
+// timedRun wraps fio.Run with the wall-clock measurement that the
+// simulation packages are not allowed to take themselves (vetrepo's
+// vtimeonly analyzer): fio reports virtual time, the harness stamps
+// Result.WallTime.
+func timedRun(spec fio.Spec, target fio.Target, start vtime.Time) (fio.Result, error) {
+	wallStart := time.Now()
+	res, err := fio.Run(spec, target, start)
+	res.WallTime = time.Since(wallStart)
+	return res, err
+}
+
 func sweepScheme(cfg Config, spec SchemeSpec, reads, writes *Series, progress func(string)) error {
 	cluster, err := rados.NewCluster(cfg.Cluster())
 	if err != nil {
@@ -197,7 +209,7 @@ func sweepScheme(cfg Config, spec SchemeSpec, reads, writes *Series, progress fu
 			ops = cfg.MaxOps
 		}
 		for _, pattern := range []fio.Pattern{fio.RandWrite, fio.RandRead} {
-			res, err := fio.Run(fio.Spec{
+			res, err := timedRun(fio.Spec{
 				Pattern:    pattern,
 				BlockSize:  bs,
 				QueueDepth: cfg.QueueDepth,

@@ -46,7 +46,9 @@ func Get(n int) []byte {
 		return make([]byte, n)
 	}
 	if v := classes[c].Get(); v != nil {
-		return (*v.(*[]byte))[:n]
+		b := (*v.(*[]byte))[:n]
+		checkGet(b)
+		return b
 	}
 	return make([]byte, n, 1<<(minShift+c))
 }
@@ -70,5 +72,6 @@ func Put(b []byte) {
 		return // odd capacity (not pool-born); drop it
 	}
 	b = b[:cap(b)]
+	checkPut(b)
 	classes[c].Put(&b)
 }

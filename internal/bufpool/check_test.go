@@ -1,0 +1,73 @@
+//go:build bufpoolcheck
+
+package bufpool
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// The guard tests depend on sync.Pool returning the just-Put buffer on
+// the next same-goroutine Get, which holds as long as no GC empties the
+// pool in between; GC is disabled for the duration.
+func noGC(t *testing.T) {
+	t.Helper()
+	old := debug.SetGCPercent(-1)
+	t.Cleanup(func() { debug.SetGCPercent(old) })
+}
+
+func mustPanic(t *testing.T, wantSubstr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one containing %q", wantSubstr)
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, wantSubstr) {
+			t.Fatalf("panic %q does not contain %q", msg, wantSubstr)
+		}
+		// The offending Put's stack must be in the report so the
+		// violation is attributable.
+		if !strings.Contains(msg, "bufpool.Put") {
+			t.Fatalf("panic does not carry the recorded Put stack: %q", msg)
+		}
+	}()
+	f()
+}
+
+func TestGuardDoublePutPanics(t *testing.T) {
+	noGC(t)
+	b := Get(4096)
+	Put(b)
+	mustPanic(t, "double Put", func() { Put(b) })
+	// Drain the poisoned buffer so later tests start clean.
+	Get(4096)
+}
+
+func TestGuardWriteAfterPutPanics(t *testing.T) {
+	noGC(t)
+	b := Get(4096)
+	Put(b)
+	b[17] = 1 // write through a retained view after Put
+	mustPanic(t, "after Put", VerifyIdle)
+}
+
+func TestGuardCleanCycle(t *testing.T) {
+	noGC(t)
+	b := Get(4096)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	Put(b)
+	c := GetZero(4096)
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("GetZero byte %d = %#x, want 0", i, v)
+		}
+	}
+	Put(c)
+	Get(4096) // drain
+}

@@ -16,6 +16,7 @@ package clone
 import (
 	"errors"
 
+	"repro/internal/rbd"
 	"repro/internal/vtime"
 )
 
@@ -46,6 +47,13 @@ type FlattenProgress struct {
 
 // Done reports whether the walk has covered every object.
 func (p FlattenProgress) Done() bool { return p.NextObj >= p.Objects }
+
+// valid reports whether a decoded cursor is internally coherent and
+// matches the image's walk domain; anything else gets the same
+// restart-from-scratch treatment as an undecodable record.
+func (p FlattenProgress) valid(objects int64) bool {
+	return p.NextObj >= 0 && p.NextObj <= p.Objects && p.Objects == objects
+}
 
 // Flattener drives one flatten on one clone.
 type Flattener struct {
@@ -113,13 +121,32 @@ func StartFlatten(at vtime.Time, img *Image) (*Flattener, vtime.Time, error) {
 // just completes the bookkeeping.
 func ResumeFlatten(at vtime.Time, img *Image) (*Flattener, vtime.Time, error) {
 	p, found, at, err := loadFlattenProgress(at, img)
+	switch {
+	case errors.Is(err, rbd.ErrCorruptCursor):
+		return restartFlattenFromCorrupt(at, img)
+	case err != nil:
+		return nil, at, err
+	case !found:
+		return nil, at, ErrNoFlatten
+	case !p.valid(img.enc.ObjectCount()):
+		return restartFlattenFromCorrupt(at, img)
+	}
+	return &Flattener{img: img, prog: p}, at, nil
+}
+
+// restartFlattenFromCorrupt replaces an undecodable (or out-of-domain)
+// flatten cursor with a full re-walk from object zero. The walk is
+// idempotent — copyup keys off child presence, so objects the crashed
+// walker already copied are no-ops — and a clone whose parent was
+// already severed completes on the first Step. The fresh record is
+// persisted immediately so a second crash resumes normally.
+func restartFlattenFromCorrupt(at vtime.Time, img *Image) (*Flattener, vtime.Time, error) {
+	f := &Flattener{img: img, prog: FlattenProgress{Objects: img.enc.ObjectCount()}}
+	at, err := f.persist(at)
 	if err != nil {
 		return nil, at, err
 	}
-	if !found {
-		return nil, at, ErrNoFlatten
-	}
-	return &Flattener{img: img, prog: p}, at, nil
+	return f, at, nil
 }
 
 // Step processes one object (or, once every object is walked, severs the

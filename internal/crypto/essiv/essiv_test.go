@@ -2,6 +2,7 @@ package essiv
 
 import (
 	"bytes"
+	//vetrepo:ignore cryptohygiene fixed-seed source generating test plaintexts, never key material
 	"math/rand"
 	"testing"
 	"testing/quick"

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/aes"
 	"encoding/hex"
+	//vetrepo:ignore cryptohygiene fixed-seed source generating test plaintexts, never key material
 	"math/rand"
 	"testing"
 	"testing/quick"

@@ -2,6 +2,7 @@ package dmcrypt
 
 import (
 	"bytes"
+	//vetrepo:ignore cryptohygiene fixed-seed source generating test IO payloads, never key material
 	"math/rand"
 	"testing"
 

@@ -121,12 +121,16 @@ func (s Spec) withDefaults(target Target) (Spec, error) {
 
 // Result summarizes one run.
 type Result struct {
-	Spec       Spec
-	Ops        int
-	Discards   int // ops that were discards (counted in Ops, not Bytes)
-	Bytes      int64
-	Start      vtime.Time
-	End        vtime.Time // latest virtual completion
+	Spec     Spec
+	Ops      int
+	Discards int // ops that were discards (counted in Ops, not Bytes)
+	Bytes    int64
+	Start    vtime.Time
+	End      vtime.Time // latest virtual completion
+	// WallTime is the host wall-clock duration of the run. Run does not
+	// measure it — the simulation packages are virtual-time only
+	// (vetrepo's vtimeonly analyzer enforces this) — the harness that
+	// calls Run stamps it afterwards; see bench.timedRun and cmd/fiosim.
 	WallTime   time.Duration
 	Latencies  LatencySummary
 	LatencySum time.Duration // total virtual latency across all ops
@@ -214,7 +218,6 @@ func Run(spec Spec, target Target, start vtime.Time) (Result, error) {
 		return Result{}, err
 	}
 	blocks := spec.Span / spec.BlockSize
-	wallStart := time.Now()
 
 	type jobState struct {
 		now     vtime.Time
@@ -355,7 +358,6 @@ func Run(spec Spec, target Target, start vtime.Time) (Result, error) {
 		Bytes:      int64(len(lats)-discards) * spec.BlockSize,
 		Start:      start,
 		End:        maxEnd,
-		WallTime:   time.Since(wallStart),
 		LatencySum: latSum,
 	}
 	res.Latencies = summarize(lats)

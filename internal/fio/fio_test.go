@@ -193,6 +193,7 @@ func (o *overlapTarget) ReadAt(at vtime.Time, p []byte, off int64) (vtime.Time, 
 	}
 	o.mu.Unlock()
 	if slow {
+		//vetrepo:ignore vtimeonly deliberate host-time straggler: this test measures real wall-clock overlap
 		time.Sleep(5 * time.Millisecond)
 	}
 	o.mu.Lock()

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/luks"
+	"repro/internal/rbd"
 	"repro/internal/vtime"
 )
 
@@ -52,6 +53,13 @@ type Progress struct {
 
 // Done reports whether the walk has covered every object.
 func (p Progress) Done() bool { return p.NextObj >= p.Objects }
+
+// valid reports whether a decoded cursor is internally coherent and
+// matches the image's walk domain; anything else gets the same
+// restart-from-scratch treatment as an undecodable record.
+func (p Progress) valid(objects int64) bool {
+	return p.NextObj >= 0 && p.NextObj <= p.Objects && p.Objects == objects
+}
 
 // Rekeyer drives one epoch transition on one image.
 type Rekeyer struct {
@@ -138,11 +146,15 @@ func Start(at vtime.Time, img *core.EncryptedImage) (*Rekeyer, vtime.Time, error
 // because re-sealing keys off the per-block epoch tags.
 func Resume(at vtime.Time, img *core.EncryptedImage) (*Rekeyer, vtime.Time, error) {
 	p, found, at, err := loadProgress(at, img)
-	if err != nil {
+	switch {
+	case errors.Is(err, rbd.ErrCorruptCursor):
+		return restartFromCorrupt(at, img)
+	case err != nil:
 		return nil, at, err
-	}
-	if !found {
+	case !found:
 		return nil, at, ErrNoRekey
+	case !p.valid(img.ObjectCount()):
+		return restartFromCorrupt(at, img)
 	}
 	switch cur := img.CurrentEpoch(); {
 	case cur == p.To:
@@ -162,6 +174,24 @@ func Resume(at vtime.Time, img *core.EncryptedImage) (*Rekeyer, vtime.Time, erro
 		return nil, at, fmt.Errorf("keymgr: progress targets epoch %d but container is at %d (Abort to discard the record and Start a fresh transition)", p.To, cur)
 	}
 	return &Rekeyer{img: img, prog: p}, at, nil
+}
+
+// restartFromCorrupt replaces an undecodable (or out-of-domain) rekey
+// cursor with a full re-walk toward the container's current epoch. The
+// record's existence proves a transition was in flight; its position is
+// lost. Walking every object from zero is safe — re-sealing keys off
+// per-block epoch tags, so already-converted blocks are no-ops — and
+// completion destroys every non-target epoch, which includes whatever
+// retired key the lost record was retiring. The fresh record is
+// persisted immediately so a second crash resumes normally.
+func restartFromCorrupt(at vtime.Time, img *core.EncryptedImage) (*Rekeyer, vtime.Time, error) {
+	cur := img.CurrentEpoch()
+	r := &Rekeyer{img: img, prog: Progress{From: cur, To: cur, Objects: img.ObjectCount()}}
+	at, err := r.persist(at)
+	if err != nil {
+		return nil, at, err
+	}
+	return r, at, nil
 }
 
 // Abort withdraws an image's rekey progress record without touching any

@@ -55,6 +55,7 @@ func TestPacedRekeyBoundsForegroundLatency(t *testing.T) {
 				return
 			}
 			at = end
+			//vetrepo:ignore vtimeonly deliberate real-time pacing beat; the measured quantities stay virtual
 			time.Sleep(20 * time.Millisecond) // real-time beat ≈ the virtual admission spacing
 		}
 	}()

@@ -9,14 +9,24 @@ package rbd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"repro/internal/rados"
 	"repro/internal/vtime"
 )
 
+// ErrCorruptCursor reports a walker-cursor record whose stored bytes do
+// not decode — truncated or scribbled OMAP state. The walkers treat it
+// as "a walk was in flight, its position is lost": they restart the
+// walk from the beginning (which is safe, both walks are idempotent)
+// rather than fail the resume or, worse, trust a half-read cursor.
+var ErrCorruptCursor = errors.New("rbd: corrupt walker cursor")
+
 // LoadCursor reads the walker cursor stored under key in the image
 // header's OMAP into v, reporting found=false when no record exists.
+// A record that exists but does not decode returns an error wrapping
+// ErrCorruptCursor.
 func (img *Image) LoadCursor(at vtime.Time, key string, v any) (bool, vtime.Time, error) {
 	res, end, err := img.OperateHeader(at, []rados.Op{{
 		Kind: rados.OpOmapGetRange,
@@ -30,7 +40,7 @@ func (img *Image) LoadCursor(at vtime.Time, key string, v any) (bool, vtime.Time
 		return false, end, nil
 	}
 	if err := json.Unmarshal(res[0].Pairs[0].Value, v); err != nil {
-		return false, at, fmt.Errorf("rbd: corrupt cursor %q: %v", key, err)
+		return false, at, fmt.Errorf("%w %q: %v", ErrCorruptCursor, key, err)
 	}
 	return true, end, nil
 }

@@ -38,6 +38,8 @@
 package repro
 
 import (
+	"time"
+
 	"repro/internal/clone"
 	"repro/internal/core"
 	"repro/internal/fio"
@@ -156,7 +158,12 @@ func OpenEncryptedImage(client *Client, pool, name string, passphrase []byte) (*
 // block target (an EncryptedImage satisfies fio.Target, and — for
 // discard mixes — fio.Discarder).
 func RunWorkload(spec WorkloadSpec, target fio.Target, start Time) (WorkloadResult, error) {
-	return fio.Run(spec, target, start)
+	// fio.Run reports virtual time only; the wall-clock stamp happens
+	// here, outside the simulation packages.
+	wallStart := time.Now()
+	res, err := fio.Run(spec, target, start)
+	res.WallTime = time.Since(wallStart)
+	return res, err
 }
 
 // StartRekey begins an online key rotation on an encrypted image: a new
