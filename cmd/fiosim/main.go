@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/bench"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/fio"
 	"repro/internal/rados"
 	"repro/internal/rbd"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +31,9 @@ func main() {
 		imageMB    = flag.Int64("image", 512, "image size in MiB")
 		schemeName = flag.String("scheme", "xts-rand", "cipher scheme")
 		layoutName = flag.String("layout", "object-end", "IV layout")
+		trimPct    = flag.Int("trim", 0, "percentage of ops issued as discards")
+		metrics    = flag.Bool("metrics", false, "dump the Prometheus-text telemetry snapshot after the run")
+		traces     = flag.Bool("traces", false, "dump recent and slow per-op trace spans after the run")
 	)
 	flag.Parse()
 
@@ -77,6 +82,7 @@ func main() {
 		BlockSize:  *bsKB << 10,
 		QueueDepth: *qd,
 		TotalOps:   *ops,
+		TrimPct:    *trimPct,
 	}, enc, now)
 	res.WallTime = time.Since(wallStart)
 	if err != nil {
@@ -85,5 +91,27 @@ func main() {
 	fmt.Println(res)
 	fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v (virtual)\n",
 		res.Latencies.P50, res.Latencies.P95, res.Latencies.P99, res.Latencies.Max)
+	if perOp := res.PerOpString(); perOp != "" {
+		fmt.Println(perOp)
+	}
 	fmt.Printf("wall time: %v\n", res.WallTime)
+
+	if *traces {
+		fmt.Println("\nrecent op traces (newest first):")
+		for _, rec := range telemetry.Ops.Recent() {
+			fmt.Printf("  %s\n", rec.String())
+		}
+		if slow := telemetry.Ops.Slow(); len(slow) > 0 {
+			fmt.Println("slow ops:")
+			for _, rec := range slow {
+				fmt.Printf("  %s\n", rec.String())
+			}
+		}
+	}
+	if *metrics {
+		fmt.Println("\ntelemetry snapshot:")
+		if _, err := telemetry.Default.WriteTo(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

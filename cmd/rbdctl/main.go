@@ -28,12 +28,14 @@ import (
 	"log"
 	"os"
 	"sync"
+	"time"
 
 	"repro"
 	"repro/internal/core"
 	"repro/internal/fio"
 	"repro/internal/rados"
 	"repro/internal/rbd"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -45,9 +47,9 @@ func main() {
 	flag.Parse()
 	verb := flag.Arg(0)
 	switch verb {
-	case "demo", "rekey", "discard", "clone", "flatten":
+	case "demo", "rekey", "discard", "clone", "flatten", "status":
 	default:
-		fmt.Fprintln(os.Stderr, "usage: rbdctl [-scheme S] [-layout L] [-size MB] demo|rekey|discard|clone|flatten")
+		fmt.Fprintln(os.Stderr, "usage: rbdctl [-scheme S] [-layout L] [-size MB] demo|rekey|discard|clone|flatten|status")
 		os.Exit(2)
 	}
 	scheme, err := core.ParseScheme(*schemeName)
@@ -85,6 +87,106 @@ func main() {
 		cloneDemo(client, img, scheme, layout)
 	case "flatten":
 		flattenDemo(client, img)
+	case "status":
+		status(img)
+	}
+}
+
+// status is the observability surface: it exercises the image under a
+// live paced rekey with a concurrent workload, prints the walker's
+// progress gauges while they move, then dumps image state, per-op
+// latency breakdowns, recent trace spans with their hop timelines, and
+// the full Prometheus-text metrics snapshot.
+func status(img *repro.EncryptedImage) {
+	span := img.Size()
+	if span > 16<<20 {
+		span = 16 << 20
+	}
+	if _, err := fio.Precondition(img, span, 4096, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := repro.StartRekey(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.SetPace(repro.NewPacer(500, 64<<20))
+
+	// The walker's progress gauges are registered by internal/keymgr;
+	// family registration is idempotent, so resolving the same series
+	// here reads the same atomics the walker publishes into.
+	gDone := telemetry.NewGaugeVec("rekey_objects_done",
+		"objects the rekey walker has completed", "image").With(img.Image().Name())
+	gTotal := telemetry.NewGaugeVec("rekey_objects_total",
+		"objects in the rekey walk domain", "image").With(img.Image().Name())
+	gDebt := telemetry.NewGaugeVec("rekey_pacer_debt_ns",
+		"rekey pacer debt in virtual nanoseconds (0 = unpaced or inside budget)", "image").With(img.Image().Name())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var res repro.WorkloadResult
+	var fioErr error
+	go func() {
+		defer wg.Done()
+		res, fioErr = repro.RunWorkload(repro.WorkloadSpec{
+			Pattern: fio.RandWrite, BlockSize: 4096, QueueDepth: 8,
+			Span: span, TotalOps: 512,
+		}, img, 0)
+	}()
+
+	// Drive the walker step by step so the gauges are observably live.
+	fmt.Println("rekey walker (live gauges):")
+	var at repro.Time
+	for i := 0; ; i++ {
+		done, end, err := r.Step(at)
+		if err != nil {
+			log.Fatal(err)
+		}
+		at = end
+		if i%4 == 0 || done {
+			fmt.Printf("  objects %d/%d  pacer debt %v\n",
+				gDone.Value(), gTotal.Value(), time.Duration(gDebt.Value()))
+		}
+		if done {
+			break
+		}
+	}
+	wg.Wait()
+	if fioErr != nil {
+		log.Fatal(fioErr)
+	}
+
+	fmt.Printf("\nimage state:\n")
+	fmt.Printf("  epochs: current=%d live=%v\n", img.CurrentEpoch(), img.Epochs())
+	fmt.Printf("  objects: %d x %d B, block %d B, metadata %d B/block\n",
+		img.ObjectCount(), img.Image().ObjectSize(), img.Options().BlockSize, img.MetaLen())
+
+	fmt.Printf("\nconcurrent workload: %s\n", res)
+	if perOp := res.PerOpString(); perOp != "" {
+		fmt.Println(perOp)
+	}
+
+	fmt.Println("\nrecent op traces (newest first):")
+	recent := repro.RecentTraces()
+	if len(recent) > 8 {
+		recent = recent[:8]
+	}
+	for _, rec := range recent {
+		fmt.Printf("  %s\n", rec.String())
+	}
+	if slow := repro.SlowTraces(); len(slow) > 0 {
+		if len(slow) > 4 {
+			slow = slow[:4]
+		}
+		fmt.Println("slow ops:")
+		for _, rec := range slow {
+			fmt.Printf("  %s\n", rec.String())
+		}
+	}
+
+	fmt.Println("\ntelemetry snapshot:")
+	if _, err := repro.WriteMetrics(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -1,0 +1,85 @@
+// Package atomicstate pins the telemetry metric structs to atomic-only
+// state. Counter, Gauge and Histogram are recorded from every hot path
+// in the stack concurrently and without locks — the whole design rests
+// on each field being a sync/atomic value (or an array of them, or
+// blank cache-line padding). A plain int64 slipped into one of these
+// structs would type-check, pass light tests, and then race and lose
+// increments under the -race CI job or in real concurrent runs; this
+// analyzer rejects it structurally.
+package atomicstate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// metricStructs are the struct type names whose fields must be atomic.
+var metricStructs = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "atomicstate",
+	Doc:      "telemetry metric structs (Counter, Gauge, Histogram) may hold only sync/atomic state: they are written lock-free from every hot path",
+	Packages: map[string]bool{"telemetry": true},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !metricStructs[ts.Name.Name] {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkStruct(pass, ts.Name.Name, st)
+			}
+		}
+	}
+	return nil
+}
+
+func checkStruct(pass *analysis.Pass, name string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || atomicOK(t) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(), "metric struct %s embeds non-atomic %s; metric state must be sync/atomic (lock-free hot-path recording)", name, t)
+			continue
+		}
+		for _, id := range field.Names {
+			if id.Name == "_" {
+				continue // cache-line padding
+			}
+			pass.Reportf(id.Pos(), "metric struct %s field %s is %s; metric state must be sync/atomic (a plain field races under lock-free recording)", name, id.Name, t)
+		}
+	}
+}
+
+// atomicOK reports whether t is a sync/atomic type or an array of them.
+func atomicOK(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		t = arr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}

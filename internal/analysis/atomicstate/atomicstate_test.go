@@ -1,0 +1,11 @@
+package atomicstate
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAtomicstate(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "telemetry", "other")
+}

@@ -1,0 +1,7 @@
+// Package other is outside the telemetry package set: the analyzer
+// must not fire even on a struct named like a metric.
+package other
+
+type Counter struct {
+	n int64
+}

@@ -1,0 +1,32 @@
+// Package telemetry seeds atomicstate violations and clean
+// counterparts in a package named like the real metrics package.
+package telemetry
+
+import "sync/atomic"
+
+// Counter is the clean shape: one atomic plus blank padding.
+type Counter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Gauge smuggles a plain numeric field next to the atomic.
+type Gauge struct {
+	v    atomic.Int64
+	last int64 // want "metric struct Gauge field last is int64"
+}
+
+// Histogram mixes an atomic array (fine) with plain state (not).
+type Histogram struct {
+	count   atomic.Int64
+	buckets [4]atomic.Int64
+	sum     int64  // want "metric struct Histogram field sum is int64"
+	mu      noCopy // want "metric struct Histogram field mu"
+}
+
+type noCopy struct{}
+
+// tracker is not a metric struct; plain fields are fine here.
+type tracker struct {
+	n int64
+}

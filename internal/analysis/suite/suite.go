@@ -5,6 +5,7 @@ package suite
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicstate"
 	"repro/internal/analysis/cryptohygiene"
 	"repro/internal/analysis/lockdiscipline"
 	"repro/internal/analysis/pooledbuf"
@@ -14,6 +15,7 @@ import (
 
 // Analyzers is the full suite, in diagnostic-name order.
 var Analyzers = []*analysis.Analyzer{
+	atomicstate.Analyzer,
 	cryptohygiene.Analyzer,
 	lockdiscipline.Analyzer,
 	pooledbuf.Analyzer,

@@ -1,0 +1,23 @@
+// Package telemetry seeds vtimeonly violations in a package named like
+// the metrics/tracing package: all recorded durations must be virtual,
+// so a wall-clock read inside telemetry would silently mix host time
+// into latency histograms and trace spans.
+package telemetry
+
+import "time"
+
+type span struct {
+	start int64
+}
+
+func badStamp(s *span) {
+	s.start = time.Now().UnixNano() // want "time.Now reads the host clock"
+}
+
+func badSlowPoll() {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep reads the host clock"
+}
+
+func okVirtualDuration(startNs, endNs int64) time.Duration {
+	return time.Duration(endNs - startNs)
+}

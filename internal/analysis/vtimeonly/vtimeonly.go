@@ -21,14 +21,15 @@ import (
 // time, matched by bare package name so analysistest fixtures can stand
 // in for the real packages.
 var simulationPackages = map[string]bool{
-	"core":    true,
-	"rados":   true,
-	"keymgr":  true,
-	"clone":   true,
-	"fio":     true,
-	"msgr":    true,
-	"simdisk": true,
-	"vtime":   true,
+	"core":      true,
+	"rados":     true,
+	"keymgr":    true,
+	"clone":     true,
+	"fio":       true,
+	"msgr":      true,
+	"simdisk":   true,
+	"vtime":     true,
+	"telemetry": true,
 }
 
 // bannedTime are the time functions that sample or schedule against the

@@ -100,11 +100,15 @@ func PaperCluster() rados.ClusterConfig {
 
 // Point is one measured (scheme, size, direction).
 type Point struct {
-	Scheme    string
-	KB        int
-	Pattern   string
-	MBps      float64
-	IOPS      float64
+	Scheme  string
+	KB      int
+	Pattern string
+	MBps    float64
+	IOPS    float64
+	// Latency percentiles over the run's merged ops, in microseconds of
+	// virtual time (fio.Result.Latencies).
+	P50Micros float64
+	P95Micros float64
 	P99Micros float64
 	Ops       int
 	// RealMBps is wall-clock bandwidth through the client datapath
@@ -226,6 +230,8 @@ func sweepScheme(cfg Config, spec SchemeSpec, reads, writes *Series, progress fu
 				Pattern:   pattern.String(),
 				MBps:      res.MBps(),
 				IOPS:      res.IOPS(),
+				P50Micros: float64(res.Latencies.P50.Microseconds()),
+				P95Micros: float64(res.Latencies.P95.Microseconds()),
 				P99Micros: float64(res.Latencies.P99.Microseconds()),
 				Ops:       res.Ops,
 				RealMBps:  res.WallMBps(),
@@ -237,8 +243,10 @@ func sweepScheme(cfg Config, spec SchemeSpec, reads, writes *Series, progress fu
 				writes.Points[spec.Name][kb] = p
 			}
 			if progress != nil {
-				progress(fmt.Sprintf("%-12s %-9s %5d KiB  %8.1f MB/s  (%d ops, wall %v, real %.0f MB/s, eqd %.1f/%d)",
-					spec.Name, pattern, kb, p.MBps, res.Ops, res.WallTime.Round(1e6), p.RealMBps, p.EffQD, cfg.QueueDepth))
+				progress(fmt.Sprintf("%-12s %-9s %5d KiB  %8.1f MB/s  p50=%v p95=%v p99=%v  (%d ops, wall %v, real %.0f MB/s, eqd %.1f/%d)",
+					spec.Name, pattern, kb, p.MBps,
+					res.Latencies.P50.Round(time.Microsecond), res.Latencies.P95.Round(time.Microsecond), res.Latencies.P99.Round(time.Microsecond),
+					res.Ops, res.WallTime.Round(1e6), p.RealMBps, p.EffQD, cfg.QueueDepth))
 			}
 		}
 	}
@@ -322,14 +330,14 @@ func FormatOverhead(title string, s *Series, baseline string) string {
 // CSV renders a series as comma-separated values.
 func CSV(s *Series) string {
 	var b strings.Builder
-	b.WriteString("pattern,scheme,kb,mbps,iops,p99_us,ops,real_mbps\n")
+	b.WriteString("pattern,scheme,kb,mbps,iops,p50_us,p95_us,p99_us,ops,real_mbps\n")
 	names := append([]string(nil), s.Schemes...)
 	sort.Strings(names)
 	for _, name := range names {
 		for _, kb := range s.Sizes {
 			p := s.Points[name][kb]
-			fmt.Fprintf(&b, "%s,%s,%d,%.2f,%.1f,%.1f,%d,%.2f\n",
-				s.Pattern, name, kb, p.MBps, p.IOPS, p.P99Micros, p.Ops, p.RealMBps)
+			fmt.Fprintf(&b, "%s,%s,%d,%.2f,%.1f,%.1f,%.1f,%.1f,%d,%.2f\n",
+				s.Pattern, name, kb, p.MBps, p.IOPS, p.P50Micros, p.P95Micros, p.P99Micros, p.Ops, p.RealMBps)
 		}
 	}
 	return b.String()

@@ -11,7 +11,11 @@
 // must not retain any view into a buffer after returning it.
 package bufpool
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
 
 const (
 	// minShift is the smallest class: 4 KiB, one encryption block.
@@ -19,6 +23,16 @@ const (
 	// numClasses spans classes up to 16 MiB: the largest extent plus its
 	// metadata region.
 	numClasses = 13
+)
+
+// Pool pressure counters: a healthy steady state is almost all hits; a
+// rising miss rate means buffers are leaking past Put or the working
+// set outgrew the GC's pool retention (see METRICS.md).
+var (
+	mGets    = telemetry.NewCounterVec("bufpool_gets_total", "pooled buffer requests by outcome", "result")
+	mGetHit  = mGets.With("hit")
+	mGetMiss = mGets.With("miss")
+	mPuts    = telemetry.NewCounter("bufpool_puts_total", "buffers returned to the pool")
 )
 
 var classes [numClasses]sync.Pool
@@ -43,13 +57,16 @@ func Get(n int) []byte {
 	}
 	c := class(n)
 	if c < 0 {
+		mGetMiss.Inc()
 		return make([]byte, n)
 	}
 	if v := classes[c].Get(); v != nil {
 		b := (*v.(*[]byte))[:n]
 		checkGet(b)
+		mGetHit.Inc()
 		return b
 	}
+	mGetMiss.Inc()
 	return make([]byte, n, 1<<(minShift+c))
 }
 
@@ -73,5 +90,6 @@ func Put(b []byte) {
 	}
 	b = b[:cap(b)]
 	checkPut(b)
+	mPuts.Inc()
 	classes[c].Put(&b)
 }

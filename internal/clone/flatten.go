@@ -60,6 +60,7 @@ type Flattener struct {
 	img  *Image
 	prog FlattenProgress
 	pace *vtime.Pacer
+	met  flattenMetrics
 }
 
 // Progress returns the current cursor.
@@ -107,11 +108,12 @@ func StartFlatten(at vtime.Time, img *Image) (*Flattener, vtime.Time, error) {
 	} else if found {
 		return nil, end, ErrFlattenActive
 	}
-	f := &Flattener{img: img, prog: FlattenProgress{Objects: img.enc.ObjectCount()}}
+	f := newFlattener(img, FlattenProgress{Objects: img.enc.ObjectCount()})
 	at, err := f.persist(at)
 	if err != nil {
 		return nil, at, err
 	}
+	f.publish(at)
 	return f, at, nil
 }
 
@@ -131,7 +133,9 @@ func ResumeFlatten(at vtime.Time, img *Image) (*Flattener, vtime.Time, error) {
 	case !p.valid(img.enc.ObjectCount()):
 		return restartFlattenFromCorrupt(at, img)
 	}
-	return &Flattener{img: img, prog: p}, at, nil
+	f := newFlattener(img, p)
+	f.publish(at)
+	return f, at, nil
 }
 
 // restartFlattenFromCorrupt replaces an undecodable (or out-of-domain)
@@ -141,11 +145,12 @@ func ResumeFlatten(at vtime.Time, img *Image) (*Flattener, vtime.Time, error) {
 // already severed completes on the first Step. The fresh record is
 // persisted immediately so a second crash resumes normally.
 func restartFlattenFromCorrupt(at vtime.Time, img *Image) (*Flattener, vtime.Time, error) {
-	f := &Flattener{img: img, prog: FlattenProgress{Objects: img.enc.ObjectCount()}}
+	f := newFlattener(img, FlattenProgress{Objects: img.enc.ObjectCount()})
 	at, err := f.persist(at)
 	if err != nil {
 		return nil, at, err
 	}
+	f.publish(at)
 	return f, at, nil
 }
 
@@ -165,6 +170,9 @@ func (f *Flattener) Step(at vtime.Time) (done bool, end vtime.Time, err error) {
 		}
 		img.detachParent()
 		at, err = f.clearProgress(at)
+		if err == nil {
+			f.publish(at)
+		}
 		return err == nil, at, err
 	}
 
@@ -178,7 +186,9 @@ func (f *Flattener) Step(at vtime.Time) (done bool, end vtime.Time, err error) {
 	f.pace.Charge(2 * int64(n) * bs) // parent read + child write
 	f.prog.NextObj++
 	f.prog.Copied += int64(n)
+	f.met.blocks.Add(int64(n))
 	at, err = f.persist(at)
+	f.publish(at)
 	return false, at, err
 }
 

@@ -1,0 +1,47 @@
+package clone
+
+// metrics.go: flatten-walker progress gauges, labeled by image, resolved
+// once per Flattener so Step records allocation-free. Mirrors the rekey
+// walker's gauges in internal/keymgr so both background walkers expose
+// identical live-progress shapes (see METRICS.md).
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/vtime"
+)
+
+var (
+	mFlattenDone = telemetry.NewGaugeVec("flatten_objects_done",
+		"objects the flatten walker has completed", "image")
+	mFlattenTotal = telemetry.NewGaugeVec("flatten_objects_total",
+		"objects in the flatten walk domain", "image")
+	mFlattenBlocks = telemetry.NewCounterVec("flatten_blocks_copied_total",
+		"blocks copied up from the parent chain into the child", "image")
+	mFlattenDebt = telemetry.NewGaugeVec("flatten_pacer_debt_ns",
+		"flatten pacer debt in virtual nanoseconds (0 = unpaced or inside budget)", "image")
+)
+
+// flattenMetrics is the per-image bundle of resolved series.
+type flattenMetrics struct {
+	done, total, debt *telemetry.Gauge
+	blocks            *telemetry.Counter
+}
+
+// newFlattener binds a walker to its image-labeled progress gauges.
+func newFlattener(img *Image, prog FlattenProgress) *Flattener {
+	name := img.enc.Image().Name()
+	return &Flattener{img: img, prog: prog, met: flattenMetrics{
+		done:   mFlattenDone.With(name),
+		total:  mFlattenTotal.With(name),
+		debt:   mFlattenDebt.With(name),
+		blocks: mFlattenBlocks.With(name),
+	}}
+}
+
+// publish pushes the current cursor (and pacer debt at virtual time at)
+// into the gauges.
+func (f *Flattener) publish(at vtime.Time) {
+	f.met.done.Set(f.prog.NextObj)
+	f.met.total.Set(f.prog.Objects)
+	f.met.debt.SetDuration(f.pace.Debt(at))
+}

@@ -132,6 +132,10 @@ type EncryptedImage struct {
 	// (entries are only touched under the object's exclusive lock).
 	allocMu sync.Mutex
 	alloc   map[int64]*objAlloc
+
+	// met holds the image's (scheme, layout)-labeled telemetry series,
+	// resolved once in Load so the datapath records allocation-free.
+	met imageMetrics
 }
 
 // Format initializes encryption on an image: generates a master key,
@@ -239,6 +243,7 @@ func Load(at vtime.Time, img *rbd.Image, passphrase []byte) (*EncryptedImage, vt
 		cpu:     vtime.NewMultiResource(img.Name()+"/crypto", opts.ModelCores),
 		workers: opts.ClientCores,
 		alloc:   make(map[int64]*objAlloc),
+		met:     newImageMetrics(scheme, lay),
 	}
 	return e, at, nil
 }
@@ -319,6 +324,11 @@ func (e *EncryptedImage) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time
 	for attempt := 0; ; attempt++ {
 		end, err := e.writeAtEpoch(at, p, off)
 		if !errors.Is(err, errStaleEpoch) {
+			if err == nil && len(p) > 0 {
+				e.met.sealOps.Inc()
+				e.met.sealBytes.Add(int64(len(p)))
+				e.met.writeLat.Observe(end.Sub(at))
+			}
 			return end, err
 		}
 		if attempt >= 8 {
@@ -468,6 +478,11 @@ func (e *EncryptedImage) ReadAtSnapPresent(at vtime.Time, p []byte, off int64, s
 	for attempt := 0; ; attempt++ {
 		end, err := e.readAtSnapOnce(at, p, off, snapID, present)
 		if !errors.Is(err, errEpochRetiredMidRead) || attempt >= 2 {
+			if err == nil && len(p) > 0 {
+				e.met.openOps.Inc()
+				e.met.openBytes.Add(int64(len(p)))
+				e.met.readLat.Observe(end.Sub(at))
+			}
 			return end, err
 		}
 	}

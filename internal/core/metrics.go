@@ -1,0 +1,42 @@
+package core
+
+// metrics.go: the datapath's telemetry. Families are registered at
+// package init; the per-(scheme, layout) series handles are resolved
+// once per image in Load, so the seal/open hot paths record through
+// pre-bound counters with zero allocations (see METRICS.md).
+
+import "repro/internal/telemetry"
+
+var (
+	mSealOps = telemetry.NewCounterVec("core_seal_ops_total",
+		"WriteAt calls completed (blocks sealed under the current epoch)", "scheme", "layout")
+	mSealBytes = telemetry.NewCounterVec("core_seal_bytes_total",
+		"plaintext bytes sealed by WriteAt", "scheme", "layout")
+	mOpenOps = telemetry.NewCounterVec("core_open_ops_total",
+		"ReadAt/ReadAtSnap calls completed (blocks fetched and opened)", "scheme", "layout")
+	mOpenBytes = telemetry.NewCounterVec("core_open_bytes_total",
+		"plaintext bytes opened by reads", "scheme", "layout")
+	mWriteLat = telemetry.NewHistogramVec("core_write_vtime",
+		"virtual time of one encrypted WriteAt (seal + commit + replication)", "scheme", "layout")
+	mReadLat = telemetry.NewHistogramVec("core_read_vtime",
+		"virtual time of one encrypted read (fetch + open)", "scheme", "layout")
+)
+
+// imageMetrics is the per-image bundle of resolved series.
+type imageMetrics struct {
+	sealOps, sealBytes *telemetry.Counter
+	openOps, openBytes *telemetry.Counter
+	writeLat, readLat  *telemetry.Histogram
+}
+
+func newImageMetrics(s Scheme, l Layout) imageMetrics {
+	sch, lay := s.String(), l.String()
+	return imageMetrics{
+		sealOps:   mSealOps.With(sch, lay),
+		sealBytes: mSealBytes.With(sch, lay),
+		openOps:   mOpenOps.With(sch, lay),
+		openBytes: mOpenBytes.With(sch, lay),
+		writeLat:  mWriteLat.With(sch, lay),
+		readLat:   mReadLat.With(sch, lay),
+	}
+}

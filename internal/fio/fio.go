@@ -131,14 +131,32 @@ type Result struct {
 	// measure it — the simulation packages are virtual-time only
 	// (vetrepo's vtimeonly analyzer enforces this) — the harness that
 	// calls Run stamps it afterwards; see bench.timedRun and cmd/fiosim.
-	WallTime   time.Duration
-	Latencies  LatencySummary
-	LatencySum time.Duration // total virtual latency across all ops
+	WallTime  time.Duration
+	Latencies LatencySummary // all ops merged
+	// Per-op-type latency breakdowns (what fio prints per ddir). An op
+	// type the run never issued has Ops == 0 and a zero summary.
+	Reads, Writes, Trims OpStats
 }
 
 // LatencySummary holds virtual-time latency percentiles.
 type LatencySummary struct {
 	P50, P95, P99, Max time.Duration
+}
+
+// OpStats is the per-op-type slice of a run: op count, total virtual
+// latency, and the percentile summary over just that op type.
+type OpStats struct {
+	Ops int
+	Sum time.Duration // total virtual latency across these ops
+	Lat LatencySummary
+}
+
+// Mean returns the average virtual latency of one op, or 0 when none ran.
+func (o OpStats) Mean() time.Duration {
+	if o.Ops == 0 {
+		return 0
+	}
+	return o.Sum / time.Duration(o.Ops)
 }
 
 // MBps returns virtual-time bandwidth in MB/s (decimal, as fio reports).
@@ -180,13 +198,33 @@ func (r Result) EffectiveQD() float64 {
 	if d <= 0 {
 		return 0
 	}
-	return float64(r.LatencySum) / float64(d)
+	return float64(r.Reads.Sum+r.Writes.Sum+r.Trims.Sum) / float64(d)
 }
 
 func (r Result) String() string {
 	return fmt.Sprintf("%s bs=%dKiB qd=%d: %.1f MB/s, %.0f IOPS, p50=%v p99=%v",
 		r.Spec.Pattern, r.Spec.BlockSize>>10, r.Spec.QueueDepth, r.MBps(), r.IOPS(),
 		r.Latencies.P50, r.Latencies.P99)
+}
+
+// PerOpString renders the per-op-type latency breakdown, fio-style: one
+// line per op type that actually ran.
+func (r Result) PerOpString() string {
+	s := ""
+	for _, e := range []struct {
+		name string
+		o    OpStats
+	}{{"read", r.Reads}, {"write", r.Writes}, {"trim", r.Trims}} {
+		if e.o.Ops == 0 {
+			continue
+		}
+		if s != "" {
+			s += "\n"
+		}
+		s += fmt.Sprintf("  %-5s ops=%-6d mean=%-10v p50=%-10v p95=%-10v p99=%-10v max=%v",
+			e.name, e.o.Ops, e.o.Mean(), e.o.Lat.P50, e.o.Lat.P95, e.o.Lat.P99, e.o.Lat.Max)
+	}
+	return s
 }
 
 // Run executes the workload. Each of QueueDepth jobs keeps one IO
@@ -249,7 +287,8 @@ func Run(spec Spec, target Target, start vtime.Time) (Result, error) {
 		discards int
 		maxEnd   = start
 		lats     = make([]time.Duration, 0, spec.TotalOps)
-		latSum   time.Duration
+		opLats   [nOpTypes][]time.Duration
+		opSum    [nOpTypes]time.Duration
 		firstErr error
 		ewma     = time.Millisecond // adaptive admission window seed
 	)
@@ -325,9 +364,18 @@ func Run(spec Spec, target Target, start vtime.Time) (Result, error) {
 			if isTrim {
 				discards++
 			}
+			op := opRead
+			switch {
+			case isTrim:
+				op = opTrim
+			case !spec.Pattern.Reads():
+				op = opWrite
+			}
 			lat := end.Sub(arrival)
 			lats = append(lats, lat)
-			latSum += lat
+			opLats[op] = append(opLats[op], lat)
+			opSum[op] += lat
+			mFioLat[op].Observe(lat)
 			ewma += (lat - ewma) / 16
 			if end > maxEnd {
 				maxEnd = end
@@ -352,16 +400,22 @@ func Run(spec Spec, target Target, start vtime.Time) (Result, error) {
 	}
 
 	res := Result{
-		Spec:       spec,
-		Ops:        len(lats),
-		Discards:   discards,
-		Bytes:      int64(len(lats)-discards) * spec.BlockSize,
-		Start:      start,
-		End:        maxEnd,
-		LatencySum: latSum,
+		Spec:     spec,
+		Ops:      len(lats),
+		Discards: discards,
+		Bytes:    int64(len(lats)-discards) * spec.BlockSize,
+		Start:    start,
+		End:      maxEnd,
+		Reads:    opStats(opLats[opRead], opSum[opRead]),
+		Writes:   opStats(opLats[opWrite], opSum[opWrite]),
+		Trims:    opStats(opLats[opTrim], opSum[opTrim]),
 	}
 	res.Latencies = summarize(lats)
 	return res, nil
+}
+
+func opStats(lats []time.Duration, sum time.Duration) OpStats {
+	return OpStats{Ops: len(lats), Sum: sum, Lat: summarize(lats)}
 }
 
 func summarize(lats []time.Duration) LatencySummary {

@@ -1,0 +1,25 @@
+package fio
+
+// metrics.go: workload-side latency histograms, one series per op type
+// (what fio reports per ddir). The handles are resolved at package init
+// so Run's completion path records allocation-free.
+
+import "repro/internal/telemetry"
+
+// Op-type indices for the per-op accounting in Run.
+const (
+	opRead = iota
+	opWrite
+	opTrim
+	nOpTypes
+)
+
+var (
+	mFioLatVec = telemetry.NewHistogramVec("fio_op_vtime",
+		"virtual latency of one workload op as observed by the fio engine", "op")
+	mFioLat = [nOpTypes]*telemetry.Histogram{
+		opRead:  mFioLatVec.With("read"),
+		opWrite: mFioLatVec.With("write"),
+		opTrim:  mFioLatVec.With("trim"),
+	}
+)

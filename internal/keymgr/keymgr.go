@@ -66,6 +66,12 @@ type Rekeyer struct {
 	img  *core.EncryptedImage
 	prog Progress
 	pace *vtime.Pacer
+	met  walkerMetrics
+}
+
+// newRekeyer binds a walker to its image-labeled progress gauges.
+func newRekeyer(img *core.EncryptedImage, prog Progress) *Rekeyer {
+	return &Rekeyer{img: img, prog: prog, met: newWalkerMetrics(img.Image().Name())}
 }
 
 // SetPace installs a virtual-time admission budget (IOPS + bytes/s caps)
@@ -113,11 +119,12 @@ func Start(at vtime.Time, img *core.EncryptedImage) (*Rekeyer, vtime.Time, error
 		return nil, end, ErrRekeyActive
 	}
 	from := img.CurrentEpoch()
-	r := &Rekeyer{img: img, prog: Progress{From: from, To: from + 1, Objects: img.ObjectCount()}}
+	r := newRekeyer(img, Progress{From: from, To: from + 1, Objects: img.ObjectCount()})
 	at, err := r.persist(at)
 	if err != nil {
 		return nil, at, err
 	}
+	r.publish(at)
 	to, at, err := img.BeginEpoch(at)
 	if err != nil {
 		// BeginEpoch refused (legacy geometry, persist failure, ...):
@@ -173,7 +180,9 @@ func Resume(at vtime.Time, img *core.EncryptedImage) (*Rekeyer, vtime.Time, erro
 	default:
 		return nil, at, fmt.Errorf("keymgr: progress targets epoch %d but container is at %d (Abort to discard the record and Start a fresh transition)", p.To, cur)
 	}
-	return &Rekeyer{img: img, prog: p}, at, nil
+	r := newRekeyer(img, p)
+	r.publish(at)
+	return r, at, nil
 }
 
 // restartFromCorrupt replaces an undecodable (or out-of-domain) rekey
@@ -186,11 +195,12 @@ func Resume(at vtime.Time, img *core.EncryptedImage) (*Rekeyer, vtime.Time, erro
 // persisted immediately so a second crash resumes normally.
 func restartFromCorrupt(at vtime.Time, img *core.EncryptedImage) (*Rekeyer, vtime.Time, error) {
 	cur := img.CurrentEpoch()
-	r := &Rekeyer{img: img, prog: Progress{From: cur, To: cur, Objects: img.ObjectCount()}}
+	r := newRekeyer(img, Progress{From: cur, To: cur, Objects: img.ObjectCount()})
 	at, err := r.persist(at)
 	if err != nil {
 		return nil, at, err
 	}
+	r.publish(at)
 	return r, at, nil
 }
 
@@ -200,7 +210,7 @@ func restartFromCorrupt(at vtime.Time, img *core.EncryptedImage) (*Rekeyer, vtim
 // (all tagged epochs stay live, so nothing becomes unreadable); the next
 // completed transition re-seals them and destroys every retired epoch.
 func Abort(at vtime.Time, img *core.EncryptedImage) (vtime.Time, error) {
-	r := &Rekeyer{img: img}
+	r := newRekeyer(img, Progress{})
 	return r.clearProgress(at)
 }
 
@@ -224,6 +234,9 @@ func (r *Rekeyer) Step(at vtime.Time) (done bool, end vtime.Time, err error) {
 			}
 		}
 		at, err = r.clearProgress(at)
+		if err == nil {
+			r.publish(at)
+		}
 		return err == nil, at, err
 	}
 	// Pacing: one walker op is admitted against the budget up front; the
@@ -236,7 +249,9 @@ func (r *Rekeyer) Step(at vtime.Time) (done bool, end vtime.Time, err error) {
 	r.pace.Charge(2 * int64(n) * r.img.Options().BlockSize) // read + re-write
 	r.prog.NextObj++
 	r.prog.Rekeyed += int64(n)
+	r.met.blocks.Add(int64(n))
 	at, err = r.persist(at)
+	r.publish(at)
 	return false, at, err
 }
 

@@ -1,0 +1,46 @@
+package keymgr
+
+// metrics.go: rekey-walker progress gauges, labeled by image, resolved
+// once per Rekeyer so Step records allocation-free. The gauges make
+// walker/foreground interference observable live: objects done vs
+// total, blocks actually re-sealed, and the pacer's current debt (how
+// far the admission frontier sits in the virtual future).
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/vtime"
+)
+
+var (
+	mRekeyDone = telemetry.NewGaugeVec("rekey_objects_done",
+		"objects the rekey walker has completed", "image")
+	mRekeyTotal = telemetry.NewGaugeVec("rekey_objects_total",
+		"objects in the rekey walk domain", "image")
+	mRekeyBlocks = telemetry.NewCounterVec("rekey_blocks_resealed_total",
+		"blocks re-sealed under the target epoch", "image")
+	mRekeyDebt = telemetry.NewGaugeVec("rekey_pacer_debt_ns",
+		"rekey pacer debt in virtual nanoseconds (0 = unpaced or inside budget)", "image")
+)
+
+// walkerMetrics is the per-image bundle of resolved series.
+type walkerMetrics struct {
+	done, total, debt *telemetry.Gauge
+	blocks            *telemetry.Counter
+}
+
+func newWalkerMetrics(image string) walkerMetrics {
+	return walkerMetrics{
+		done:   mRekeyDone.With(image),
+		total:  mRekeyTotal.With(image),
+		debt:   mRekeyDebt.With(image),
+		blocks: mRekeyBlocks.With(image),
+	}
+}
+
+// publish pushes the current cursor (and pacer debt at virtual time at)
+// into the gauges.
+func (r *Rekeyer) publish(at vtime.Time) {
+	r.met.done.Set(r.prog.NextObj)
+	r.met.total.Set(r.prog.Objects)
+	r.met.debt.SetDuration(r.pace.Debt(at))
+}

@@ -15,7 +15,22 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
+)
+
+// Dispatch accounting: typed (zero-marshal fast path) vs byte-codec
+// calls, and the wire bytes each form charged. Handles are resolved at
+// init; the call paths record with atomic adds only (see METRICS.md).
+var (
+	mCallsVec = telemetry.NewCounterVec("msgr_calls_total",
+		"messenger round trips by wire form", "path")
+	mBytesVec = telemetry.NewCounterVec("msgr_bytes_total",
+		"request+reply wire bytes charged, by wire form", "path")
+	mCallsTyped = mCallsVec.With("typed")
+	mCallsBytes = mCallsVec.With("bytes")
+	mBytesTyped = mBytesVec.With("typed")
+	mBytesBytes = mBytesVec.With("bytes")
 )
 
 // Handler services one request. The at argument is the request's virtual
@@ -59,6 +74,13 @@ type TypedConn interface {
 	Conn
 	CallTyped(at vtime.Time, req Msg) (resp Msg, end vtime.Time, err error)
 }
+
+// SpanCarrier is implemented by typed messages that carry a telemetry
+// trace span (rados.Request). The typed transport records its transmit
+// hops on the span; byte-codec messages carry no span and cross the
+// wire untraced. A nil span from a carrier is fine — every span method
+// is nil-safe.
+type SpanCarrier interface{ TraceSpan() *telemetry.Span }
 
 // ErrClosed reports use of a closed connection.
 var ErrClosed = errors.New("msgr: connection closed")
@@ -200,12 +222,14 @@ func (c *inProcConn) Call(at vtime.Time, req []byte) ([]byte, vtime.Time, error)
 	if err := c.checkOpen(); err != nil {
 		return nil, at, err
 	}
+	mCallsBytes.Inc()
 	arrive := c.reqCost.transmit(at, c.reqLink, len(req))
 	resp, done, err := c.srv.handler(arrive, req)
 	if err != nil {
 		return nil, arrive, fmt.Errorf("msgr: remote: %w", err)
 	}
 	end := c.respCost.transmit(done, c.respLink, len(resp))
+	mBytesBytes.Add(int64(len(req) + len(resp)))
 	return resp, end, nil
 }
 
@@ -230,12 +254,21 @@ func (c *inProcTypedConn) CallTyped(at vtime.Time, req Msg) (Msg, vtime.Time, er
 	if err := c.checkOpen(); err != nil {
 		return nil, at, err
 	}
-	arrive := c.reqCost.transmit(at, c.reqLink, req.WireLen())
+	mCallsTyped.Inc()
+	var sp *telemetry.Span
+	if carrier, ok := req.(SpanCarrier); ok {
+		sp = carrier.TraceSpan()
+	}
+	reqLen := req.WireLen()
+	arrive := c.reqCost.transmit(at, c.reqLink, reqLen)
+	sp.Hop("msgr:req", at, arrive)
 	resp, done, err := c.srv.typed(arrive, req)
 	if err != nil {
 		return nil, arrive, fmt.Errorf("msgr: remote: %w", err)
 	}
 	end := c.respCost.transmit(done, c.respLink, resp.WireLen())
+	sp.Hop("msgr:resp", done, end)
+	mBytesTyped.Add(int64(reqLen + resp.WireLen()))
 	return resp, end, nil
 }
 

@@ -203,6 +203,7 @@ func (c *TCPConn) Call(at vtime.Time, req []byte) ([]byte, vtime.Time, error) {
 // CallV implements Conn: the request segments are framed and written
 // with one vectored socket write; no joined copy is ever built.
 func (c *TCPConn) CallV(at vtime.Time, segs [][]byte) ([]byte, vtime.Time, error) {
+	mCallsBytes.Inc()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -233,6 +234,7 @@ func (c *TCPConn) CallV(at vtime.Time, segs [][]byte) ([]byte, vtime.Time, error
 	if reply.status != 0 {
 		return nil, reply.at, fmt.Errorf("msgr: remote: %s", reply.payload)
 	}
+	mBytesBytes.Add(int64(segsLen(segs) + len(reply.payload)))
 	return reply.payload, reply.at, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bufpool"
 	"repro/internal/msgr"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -36,33 +37,47 @@ type Client struct {
 // the transport has fully consumed the segments.
 func (c *Client) Operate(at vtime.Time, pool, object string, snapc SnapContext, snapID uint64, ops []Op) ([]Result, vtime.Time, error) {
 	if len(ops) == 0 {
+		mClientErrors.Inc()
 		return nil, at, fmt.Errorf("rados: empty request")
 	}
 	primary := c.cmap.PrimaryFor(pool, object)
 	conn, ok := c.conns[primary]
 	if !ok {
+		mClientErrors.Inc()
 		return nil, at, fmt.Errorf("rados: no connection to osd%d", primary)
 	}
+	mClientRequests.Inc()
+	mClientBytes.Add(countOps(ops, &mClientOps))
+	sp := telemetry.Ops.Start(ops[0].Kind.String(), object, int64(len(ops[0].Data))+ops[0].Len, at)
 	req := &Request{
 		Pool:    pool,
 		Object:  object,
 		SnapID:  snapID,
 		SnapSeq: snapc.Seq,
 		Ops:     ops,
+		Span:    sp,
 	}
 
 	if tc, ok := conn.(msgr.TypedConn); ok {
 		resp, end, err := tc.CallTyped(at, req)
 		if err != nil {
+			mClientErrors.Inc()
+			sp.Finish(at)
 			return nil, at, err
 		}
 		reply, ok := resp.(*Reply)
 		if !ok {
+			mClientErrors.Inc()
+			sp.Finish(end)
 			return nil, end, fmt.Errorf("rados: unexpected typed reply %T", resp)
 		}
 		if len(reply.Results) != len(ops) {
+			mClientErrors.Inc()
+			sp.Finish(end)
 			return nil, end, fmt.Errorf("rados: %d results for %d ops", len(reply.Results), len(ops))
 		}
+		mClientLat.Observe(end.Sub(at))
+		sp.Finish(end)
 		return reply.Results, end, nil
 	}
 
@@ -70,17 +85,25 @@ func (c *Client) Operate(at vtime.Time, pool, object string, snapc SnapContext, 
 	respPayload, end, err := conn.CallV(at, segs)
 	bufpool.Put(hdr)
 	if err != nil {
+		mClientErrors.Inc()
+		sp.Finish(at)
 		return nil, at, err
 	}
 	reply, err := UnmarshalReply(respPayload)
 	if err != nil {
 		// The call itself completed; keep the elapsed virtual time even
 		// though the payload is unusable.
+		mClientErrors.Inc()
+		sp.Finish(end)
 		return nil, end, err
 	}
 	if len(reply.Results) != len(ops) {
+		mClientErrors.Inc()
+		sp.Finish(end)
 		return nil, end, fmt.Errorf("rados: %d results for %d ops", len(reply.Results), len(ops))
 	}
+	mClientLat.Observe(end.Sub(at))
+	sp.Finish(end)
 	return reply.Results, end, nil
 }
 

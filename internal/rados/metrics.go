@@ -1,0 +1,70 @@
+package rados
+
+// metrics.go holds the package's telemetry handles, resolved once at
+// init so the request paths record through pre-bound series with zero
+// allocations (see METRICS.md for the series contract).
+
+import "repro/internal/telemetry"
+
+var (
+	mClientRequests = telemetry.NewCounter("client_requests_total",
+		"object requests issued by rados clients")
+	mClientErrors = telemetry.NewCounter("client_errors_total",
+		"client requests that failed (transport or dispatch)")
+	mClientBytes = telemetry.NewCounter("client_bytes_total",
+		"payload bytes carried by client requests (write data in, read lengths out)")
+	mClientLat = telemetry.NewHistogram("client_request_vtime",
+		"virtual time from client issue to reply delivery")
+	mClientOpsVec = telemetry.NewCounterVec("client_ops_total",
+		"client-issued object operations by kind", "op")
+
+	mOSDRequestsVec = telemetry.NewCounterVec("osd_requests_total",
+		"requests served by OSDs, by replication role", "role")
+	mOSDOpsVec = telemetry.NewCounterVec("osd_ops_total",
+		"object operations executed by OSDs, by kind", "op")
+	mOSDBytes = telemetry.NewCounter("osd_bytes_total",
+		"payload bytes through OSD request execution")
+	mOSDErrors = telemetry.NewCounter("osd_errors_total",
+		"OSD requests that failed with a transport-level error")
+	mOSDServeLat = telemetry.NewHistogram("osd_serve_vtime",
+		"virtual time of OSD serve (CPU admission through local commit and replication)")
+	mOSDReplications = telemetry.NewCounter("osd_replications_total",
+		"primary-copy replication fan-outs issued")
+	mOSDReplLat = telemetry.NewHistogram("osd_replicate_vtime",
+		"virtual time of the replication fan-out (slowest replica ack)")
+
+	mOSDPrimary = mOSDRequestsVec.With("primary")
+	mOSDReplica = mOSDRequestsVec.With("replica")
+
+	// Per-kind counters pre-resolved into arrays indexed by OpKind, so
+	// the request loops record with one bounds check and no map lookup.
+	mClientOps [OpSetAttr + 1]*telemetry.Counter
+	mOSDOps    [OpSetAttr + 1]*telemetry.Counter
+)
+
+func init() {
+	for k := OpRead; k <= OpSetAttr; k++ {
+		mClientOps[k] = mClientOpsVec.With(k.String())
+		mOSDOps[k] = mOSDOpsVec.With(k.String())
+	}
+}
+
+// countOps records the per-kind op counters and returns the request's
+// payload byte weight (write-side data plus read-side lengths).
+func countOps(ops []Op, perKind *[OpSetAttr + 1]*telemetry.Counter) int64 {
+	var bytes int64
+	for i := range ops {
+		op := &ops[i]
+		if k := int(op.Kind); k > 0 && k < len(perKind) && perKind[k] != nil {
+			perKind[k].Inc()
+		}
+		bytes += int64(len(op.Data))
+		if op.Kind == OpRead {
+			bytes += op.Len
+		}
+		for _, p := range op.Pairs {
+			bytes += int64(len(p.Key) + len(p.Value))
+		}
+	}
+	return bytes
+}

@@ -189,6 +189,14 @@ func (o *OSD) handleTyped(at vtime.Time, m msgr.Msg) (msgr.Msg, vtime.Time, erro
 // serve executes one request and its replication, shared by both wire
 // forms.
 func (o *OSD) serve(at vtime.Time, req *Request) (*Reply, vtime.Time, error) {
+	entry := at
+	if req.Replica {
+		mOSDReplica.Inc()
+	} else {
+		mOSDPrimary.Inc()
+	}
+	mOSDBytes.Add(countOps(req.Ops, &mOSDOps))
+
 	// CPU admission cost.
 	var bytes int64
 	mutating := false
@@ -211,16 +219,25 @@ func (o *OSD) serve(at vtime.Time, req *Request) (*Reply, vtime.Time, error) {
 	results, localEnd, err := o.execute(at, fullName, req)
 	lock.Unlock()
 	if err != nil {
+		mOSDErrors.Inc()
 		return nil, at, err
 	}
+	req.Span.Hop("osd:serve", entry, localEnd)
 
 	end := localEnd
 	if mutating && !req.Replica {
 		end, err = o.replicate(at, req, end)
 		if err != nil {
+			mOSDErrors.Inc()
 			return nil, at, err
 		}
+		// The fan-out is issued at the post-admission time, concurrent
+		// with the local commit; its hop spans forward to slowest ack.
+		mOSDReplications.Inc()
+		mOSDReplLat.Observe(end.Sub(at))
+		req.Span.Hop("osd:replicate", at, end)
 	}
+	mOSDServeLat.Observe(end.Sub(entry))
 	return &Reply{Results: results}, end, nil
 }
 
@@ -249,9 +266,13 @@ func (o *OSD) replicate(at vtime.Time, req *Request, end vtime.Time) (vtime.Time
 	}
 
 	// The forward shares the request's op vector (read-only on the peer)
-	// with the replica flag set, so no payload is re-staged.
+	// with the replica flag set, so no payload is re-staged. The trace
+	// span does NOT travel: replicas run on concurrent goroutines, and a
+	// span admits a single writer — the primary records the one
+	// osd:replicate hop instead.
 	fwd := *req
 	fwd.Replica = true
+	fwd.Span = nil
 	var fwdSegs [][]byte
 	var fwdHdr []byte
 	for _, c := range conns {

@@ -11,6 +11,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // OpKind enumerates object operations.
@@ -180,7 +182,19 @@ type Request struct {
 	SnapSeq uint64 // write snap context
 	Replica bool   // internal: apply locally, do not re-replicate
 	Ops     []Op
+
+	// Span, when non-nil, is the telemetry trace for this request. Like
+	// Op.Dst it is client-local plumbing — never marshaled, absent from
+	// WireLen — so it rides only the in-process typed fast path; requests
+	// crossing the byte codec arrive untraced. The replication fan-out
+	// clears it on forwards (replicas run on their own goroutines, and a
+	// span admits one writer at a time).
+	Span *telemetry.Span
 }
+
+// TraceSpan exposes the request's span through msgr.SpanCarrier, so the
+// transport can record its hops without importing this package.
+func (r *Request) TraceSpan() *telemetry.Span { return r.Span }
 
 // Reply carries one Result per request op.
 type Reply struct {

@@ -1,0 +1,50 @@
+package telemetry_test
+
+// The contract test: METRICS.md is the normative series list, and the
+// default registry is the live one; each must cover the other. The
+// blank repro import pulls in every instrumented package (rados, msgr,
+// core, bufpool, keymgr, clone, fio) so all families are registered
+// before the comparison.
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	_ "repro"
+	"repro/internal/telemetry"
+)
+
+// tableRow matches the first cell of a METRICS.md table row holding a
+// backticked series name.
+var tableRow = regexp.MustCompile("(?m)^\\| `([a-z0-9_]+)` \\|")
+
+func TestMetricsContract(t *testing.T) {
+	doc, err := os.ReadFile("../../METRICS.md")
+	if err != nil {
+		t.Fatalf("read METRICS.md: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, m := range tableRow.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no documented series parsed from METRICS.md")
+	}
+
+	registered := map[string]bool{}
+	for _, name := range telemetry.Default.FamilyNames() {
+		registered[name] = true
+	}
+
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("metric %q is registered but not documented in METRICS.md", name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("metric %q is documented in METRICS.md but not registered", name)
+		}
+	}
+}

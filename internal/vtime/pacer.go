@@ -72,6 +72,23 @@ func (p *Pacer) Charge(n int64) {
 	p.mu.Unlock()
 }
 
+// Debt reports how far the budget frontier sits beyond virtual time at
+// — the delay the next Admit would incur. Zero means the walker is
+// inside its budget (a fresh op starts immediately); a growing value
+// means charged work is still being amortized. Walkers export it as a
+// progress gauge so pacing pressure is observable.
+func (p *Pacer) Debt(at Time) Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.next <= at {
+		return 0
+	}
+	return p.next.Sub(at)
+}
+
 // String implements fmt.Stringer.
 func (p *Pacer) String() string {
 	if p == nil {

@@ -38,6 +38,7 @@
 package repro
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/clone"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/keymgr"
 	"repro/internal/rados"
 	"repro/internal/rbd"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -87,6 +89,9 @@ type (
 	FlattenProgress = clone.FlattenProgress
 	// Pacer is a virtual-time admission budget for background walkers.
 	Pacer = vtime.Pacer
+	// TraceRecord is one finished per-op trace span (see
+	// internal/telemetry and METRICS.md).
+	TraceRecord = telemetry.SpanRecord
 )
 
 // Schemes and layouts.
@@ -221,3 +226,20 @@ func ResumeFlatten(img *ClonedImage) (*Flattener, error) {
 	f, _, err := clone.ResumeFlatten(0, img)
 	return f, err
 }
+
+// MetricsSnapshot renders every metric in the process-wide telemetry
+// registry in Prometheus text exposition format (the contract is
+// documented in METRICS.md).
+func MetricsSnapshot() string { return telemetry.Snapshot() }
+
+// WriteMetrics streams the same exposition to w.
+func WriteMetrics(w io.Writer) (int64, error) { return telemetry.Default.WriteTo(w) }
+
+// RecentTraces returns the most recently finished sampled per-op trace
+// spans, newest first, each carrying its per-hop virtual timeline
+// (client -> messenger -> OSD serve -> replicate).
+func RecentTraces() []TraceRecord { return telemetry.Ops.Recent() }
+
+// SlowTraces returns the slowest recent spans (those exceeding the
+// tracer's slow-op threshold), newest first.
+func SlowTraces() []TraceRecord { return telemetry.Ops.Slow() }
