@@ -5,9 +5,17 @@
 // Usage:
 //
 //	fiosim -rw randwrite -bs 64 -qd 32 -ops 2000 -scheme xts-rand -layout object-end
+//
+// Chaos mode arms a deterministic, seed-replayable fault plan on the
+// cluster (dropped/delayed/duplicated replies, connection resets, an
+// OSD crash window) and routes the workload through a verifying wrapper
+// that holds every read to the correct-or-loud contract:
+//
+//	fiosim -rw randread -bs 4 -qd 8 -ops 2000 -scheme gcm-auth -chaos-seed 7
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -16,10 +24,12 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/fio"
 	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/telemetry"
+	"repro/internal/vtime"
 )
 
 func main() {
@@ -34,6 +44,7 @@ func main() {
 		trimPct    = flag.Int("trim", 0, "percentage of ops issued as discards")
 		metrics    = flag.Bool("metrics", false, "dump the Prometheus-text telemetry snapshot after the run")
 		traces     = flag.Bool("traces", false, "dump recent and slow per-op trace spans after the run")
+		chaosSeed  = flag.Int64("chaos-seed", 0, "arm a deterministic fault plan with this seed (0 = off) and verify every read: correct plaintext or loud error")
 	)
 	flag.Parse()
 
@@ -50,7 +61,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cluster, err := rados.NewCluster(bench.PaperCluster())
+	cfg := bench.PaperCluster()
+	if *chaosSeed != 0 {
+		// The benchmark cluster is cost-only (payloads discarded); chaos
+		// verification reads data back, so it needs real storage.
+		cfg.EphemeralData = false
+	}
+	cluster, err := rados.NewCluster(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,11 +87,42 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	now, err := fio.Precondition(enc, 0, core.DefaultBlockSize, 0)
+	// In chaos mode the whole workload — preconditioning included — runs
+	// through fio.Verifier, which stamps write payloads and checks every
+	// read against them: correct plaintext, loud error, or it is silent
+	// garbage and the run fails.
+	target := fio.Target(enc)
+	var verifier *fio.Verifier
+	if *chaosSeed != 0 {
+		verifier = fio.NewVerifier(enc, core.DefaultBlockSize)
+		verifier.Tolerate = func(err error) bool { return errors.Is(err, fault.ErrInjected) }
+		verifier.Loud = func(err error) bool {
+			return errors.Is(err, core.ErrIntegrity) || errors.Is(err, core.ErrKeyErased)
+		}
+		target = verifier
+	}
+	now, err := fio.Precondition(target, 0, core.DefaultBlockSize, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("preconditioned %d MiB image (%v/%v)\n", *imageMB, scheme, layout)
+
+	if *chaosSeed != 0 {
+		// Network faults only: each is atomic per request (fully executed
+		// or never ran), so every manifestation is either tolerated or
+		// loud regardless of scheme. Media faults live in the test suite,
+		// where their blast radius is controlled per scheme.
+		cluster.ArmFaults(fault.NewPlan(*chaosSeed, fault.Config{
+			Prob: map[fault.Kind]float64{
+				fault.DropReply:  0.02,
+				fault.DelayReply: 0.03,
+				fault.DupReply:   0.02,
+				fault.ConnReset:  0.01,
+			},
+			Down: []fault.Window{{From: vtime.Time(5e6), To: vtime.Time(9e6)}},
+		}))
+		fmt.Printf("chaos mode: fault plan armed with seed %d\n", *chaosSeed)
+	}
 
 	wallStart := time.Now()
 	res, err := fio.Run(fio.Spec{
@@ -83,10 +131,23 @@ func main() {
 		QueueDepth: *qd,
 		TotalOps:   *ops,
 		TrimPct:    *trimPct,
-	}, enc, now)
+	}, target, now)
 	res.WallTime = time.Since(wallStart)
 	if err != nil {
+		if *chaosSeed != 0 {
+			log.Fatalf("workload aborted under faults: %v\nreproduce with: fiosim -rw %s -bs %d -qd %d -ops %d -scheme %s -layout %s -chaos-seed %d",
+				err, *rw, *bsKB, *qd, *ops, *schemeName, *layoutName, *chaosSeed)
+		}
 		log.Fatal(err)
+	}
+	if verifier != nil {
+		cluster.ArmFaults(nil)
+		s := verifier.Stats()
+		fmt.Printf("chaos verification: %v\n", s)
+		if s.GarbageBlocks != 0 {
+			log.Fatalf("SILENT GARBAGE: %d blocks read back wrong data without an error\nreproduce with: fiosim -rw %s -bs %d -qd %d -ops %d -scheme %s -layout %s -chaos-seed %d",
+				s.GarbageBlocks, *rw, *bsKB, *qd, *ops, *schemeName, *layoutName, *chaosSeed)
+		}
 	}
 	fmt.Println(res)
 	fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v (virtual)\n",

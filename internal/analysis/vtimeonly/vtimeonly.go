@@ -30,6 +30,8 @@ var simulationPackages = map[string]bool{
 	"simdisk":   true,
 	"vtime":     true,
 	"telemetry": true,
+	"fault":     true,
+	"scrub":     true,
 }
 
 // bannedTime are the time functions that sample or schedule against the

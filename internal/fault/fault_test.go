@@ -1,0 +1,137 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// Same plan, same site: the decision stream replays bit for bit.
+func TestInjectorDeterminism(t *testing.T) {
+	cfg := Config{Prob: map[Kind]float64{BitRot: 0.3, DropReply: 0.2}}
+	a := NewPlan(42, cfg).Injector("disk/osd0/nvme0")
+	b := NewPlan(42, cfg).Injector("disk/osd0/nvme0")
+	for i := 0; i < 1000; i++ {
+		if a.Hit(BitRot) != b.Hit(BitRot) || a.Hit(DropReply) != b.Hit(DropReply) {
+			t.Fatalf("decision %d diverged between identical plans", i)
+		}
+		if a.Intn(100) != b.Intn(100) {
+			t.Fatalf("draw %d diverged between identical plans", i)
+		}
+	}
+}
+
+// Different sites draw from independent streams: one site's activity
+// never shifts another's decisions.
+func TestInjectorSiteIndependence(t *testing.T) {
+	cfg := Config{Prob: map[Kind]float64{BitRot: 0.5}}
+	plan := NewPlan(7, cfg)
+
+	// Reference stream for site B alone.
+	ref := plan.Injector("b")
+	var want []bool
+	for i := 0; i < 200; i++ {
+		want = append(want, ref.Hit(BitRot))
+	}
+
+	// Interleave heavy traffic on site A; B must be unaffected.
+	a, b := plan.Injector("a"), plan.Injector("b")
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 5; j++ {
+			a.Hit(BitRot)
+		}
+		if got := b.Hit(BitRot); got != want[i] {
+			t.Fatalf("site b decision %d shifted by site a traffic", i)
+		}
+	}
+}
+
+// Disabled kinds fire never and consume no draws, so removing one fault
+// from a config replays the rest unchanged.
+func TestDisabledKindConsumesNoDraw(t *testing.T) {
+	full := NewPlan(3, Config{Prob: map[Kind]float64{BitRot: 0.4}}).Injector("s")
+	mixed := NewPlan(3, Config{Prob: map[Kind]float64{BitRot: 0.4, TornWrite: 0}}).Injector("s")
+	for i := 0; i < 500; i++ {
+		if mixed.Hit(TornWrite) {
+			t.Fatal("zero-probability kind fired")
+		}
+		if full.Hit(BitRot) != mixed.Hit(BitRot) {
+			t.Fatalf("decision %d shifted by a disabled kind", i)
+		}
+	}
+}
+
+func TestDownWindows(t *testing.T) {
+	in := NewPlan(1, Config{Down: []Window{{From: 100, To: 200}}}).Injector("osd1")
+	for _, tc := range []struct {
+		at   vtime.Time
+		want bool
+	}{{0, false}, {99, false}, {100, true}, {199, true}, {200, false}, {500, false}} {
+		if got := in.Down(tc.at); got != tc.want {
+			t.Errorf("Down(%d) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+// A nil injector is inert, so hooks can run unconditionally.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Hit(BitRot) || in.Down(50) || in.PersistentRot() {
+		t.Fatal("nil injector injected something")
+	}
+	if in.Delay() != 0 || in.Intn(10) != 0 || in.FlipBit(make([]byte, 8)) != -1 {
+		t.Fatal("nil injector returned non-zero work")
+	}
+}
+
+func TestErrorsWrapInjected(t *testing.T) {
+	for _, err := range []error{ErrTornWrite, ErrReadFault, ErrReplyDropped, ErrConnReset, ErrOSDDown} {
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("%v does not wrap ErrInjected", err)
+		}
+	}
+}
+
+func TestFlipBitChangesExactlyOneBit(t *testing.T) {
+	in := NewPlan(9, Config{}).Injector("s")
+	buf := make([]byte, 64)
+	idx := in.FlipBit(buf)
+	if idx < 0 || idx >= len(buf) {
+		t.Fatalf("byte index %d out of range", idx)
+	}
+	changed := 0
+	for _, b := range buf {
+		for ; b != 0; b &= b - 1 {
+			changed++
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("FlipBit changed %d bits, want 1", changed)
+	}
+}
+
+func TestDelayDefault(t *testing.T) {
+	if d := NewPlan(1, Config{}).Injector("s").Delay(); d != DefaultDelay {
+		t.Fatalf("default delay = %v, want %v", d, DefaultDelay)
+	}
+	if d := NewPlan(1, Config{Delay: time.Millisecond}).Injector("s").Delay(); d != time.Millisecond {
+		t.Fatalf("configured delay = %v, want 1ms", d)
+	}
+}
+
+// Probability sanity: over many opportunities the empirical rate lands
+// near the configured one (loose bounds; the stream is seeded).
+func TestHitRate(t *testing.T) {
+	in := NewPlan(11, Config{Prob: map[Kind]float64{ReadError: 0.25}}).Injector("s")
+	hits := 0
+	for i := 0; i < 4000; i++ {
+		if in.Hit(ReadError) {
+			hits++
+		}
+	}
+	if hits < 800 || hits > 1200 {
+		t.Fatalf("hit rate %d/4000, want ~1000", hits)
+	}
+}

@@ -1,0 +1,28 @@
+package fault
+
+// metrics.go: one counter family for every fault the plan actually
+// fired, labeled by kind. Handles are resolved at init so the hot
+// hooks record with a single atomic add (see METRICS.md).
+
+import "repro/internal/telemetry"
+
+var (
+	mInjVec = telemetry.NewCounterVec("fault_injections_total",
+		"injected faults that fired, by kind", "kind")
+	mInj  [numKinds]*telemetry.Counter
+	mDown = mInjVec.With("osd-down")
+)
+
+func init() {
+	for k := Kind(0); k < numKinds; k++ {
+		mInj[k] = mInjVec.With(k.String())
+	}
+}
+
+// InjectedCount returns the number of fired injections recorded for
+// one kind since process start — the harness's "did anything actually
+// fire" assertion surface.
+func InjectedCount(k Kind) int64 { return mInj[k].Value() }
+
+// DownCount returns the number of calls rejected inside crash windows.
+func DownCount() int64 { return mDown.Value() }

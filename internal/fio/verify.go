@@ -1,0 +1,272 @@
+// verify.go: the chaos-harness data-integrity oracle. A Verifier wraps
+// a Target and replaces every write payload with a deterministic
+// function of (block, version), so that on read it can decide — without
+// storing a shadow copy of the image — whether the returned bytes are a
+// plaintext the device was ever asked to store. Under fault injection
+// every read must land in one of two buckets: correct plaintext, or a
+// loud error. Anything else is silent garbage, the one outcome the
+// encryption layer must never produce.
+package fio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// VerifyStats is the tally a chaos run asserts on.
+type VerifyStats struct {
+	Writes, Reads   int // ops observed (after absorption)
+	VerifiedBlocks  int // read blocks matching an acceptable version
+	HoleBlocks      int // read blocks correctly returning never-written zeros
+	LoudErrors      int // reads that failed with an acceptable loud error
+	InjectedErrors  int // ops absorbed because the fault plan broke them
+	UncertainBlocks int // mismatches excused by a concurrent or faulted write
+	GarbageBlocks   int // silent wrong data — the chaos failure condition
+}
+
+func (s VerifyStats) String() string {
+	return fmt.Sprintf("writes=%d reads=%d verified=%d holes=%d loud=%d injected=%d uncertain=%d garbage=%d",
+		s.Writes, s.Reads, s.VerifiedBlocks, s.HoleBlocks, s.LoudErrors, s.InjectedErrors,
+		s.UncertainBlocks, s.GarbageBlocks)
+}
+
+// blockState tracks what plaintexts one block may legitimately hold.
+// Writes that overlap in time form a group: until the group drains, any
+// member's payload (or the pre-group content) may be on media; a clean
+// drain collapses the acceptable set to the group, while a drain that
+// absorbed an injected write error keeps the old set too (the write may
+// or may not have landed).
+type blockState struct {
+	accepted []uint64 // committed candidate versions
+	group    []uint64 // current overlap group (some still in flight)
+	inFlight int
+	groupErr bool // group absorbed an injected write error
+	holeOK   bool // never cleanly overwritten: zeros still acceptable
+	dirty    bool // an absorbed write error left content uncertain
+}
+
+// Verifier wraps a Target with write stamping and read verification.
+// It is safe for concurrent use by fio.Run's worker jobs. IO must be
+// block-aligned in offset and length (fio.Run's ops and Precondition's
+// chunks are).
+type Verifier struct {
+	inner Target
+	bs    int64
+
+	// Tolerate classifies errors the fault plan injected: the op is
+	// absorbed (reported as success to the engine, counted in
+	// InjectedErrors) so one planned fault doesn't abort the whole run.
+	// Typically errors.Is(err, fault.ErrInjected).
+	Tolerate func(error) bool
+	// Loud classifies acceptable integrity failures on the read path —
+	// the "loud" half of correct-or-loud. Typically
+	// errors.Is(err, core.ErrIntegrity). Supplied by the harness so this
+	// package doesn't import the encryption layer.
+	Loud func(error) bool
+
+	mu      sync.Mutex
+	nextVer uint64
+	blocks  map[int64]*blockState
+	stats   VerifyStats
+}
+
+// NewVerifier wraps target; blockSize is the verification granularity
+// and must match the workload's block size.
+func NewVerifier(target Target, blockSize int64) *Verifier {
+	return &Verifier{inner: target, bs: blockSize, blocks: map[int64]*blockState{}}
+}
+
+// Size implements Target.
+func (v *Verifier) Size() int64 { return v.inner.Size() }
+
+// Stats returns a snapshot of the tally.
+func (v *Verifier) Stats() VerifyStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stats
+}
+
+// payload fills dst with the deterministic plaintext of (block, ver):
+// a splitmix64 keystream over both, with the first byte forced non-zero
+// so no stamped payload collides with never-written zeros.
+func (v *Verifier) payload(dst []byte, block int64, ver uint64) {
+	x := uint64(block)*0x9E3779B97F4A7C15 ^ ver*0xBF58476D1CE4E5B9
+	var w [8]byte
+	for i := 0; i < len(dst); i += 8 {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		binary.LittleEndian.PutUint64(w[:], z)
+		copy(dst[i:], w[:])
+	}
+	dst[0] |= 1
+}
+
+func (v *Verifier) state(block int64) *blockState {
+	st := v.blocks[block]
+	if st == nil {
+		st = &blockState{holeOK: true}
+		v.blocks[block] = st
+	}
+	return st
+}
+
+func (v *Verifier) checkAligned(p []byte, off int64) error {
+	if off%v.bs != 0 || int64(len(p))%v.bs != 0 || len(p) == 0 {
+		return fmt.Errorf("fio: verifier needs block-aligned IO (off=%d len=%d bs=%d)", off, len(p), v.bs)
+	}
+	return nil
+}
+
+// WriteAt implements Target. The caller's payload bytes are ignored;
+// each covered block is stamped with a fresh-version deterministic
+// plaintext so any later read of it is checkable.
+func (v *Verifier) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
+	if err := v.checkAligned(p, off); err != nil {
+		return at, err
+	}
+	n := int64(len(p)) / v.bs
+	first := off / v.bs
+	stamped := make([]byte, len(p))
+
+	v.mu.Lock()
+	vers := make([]uint64, n)
+	for i := int64(0); i < n; i++ {
+		v.nextVer++
+		vers[i] = v.nextVer
+		st := v.state(first + i)
+		st.group = append(st.group, vers[i])
+		st.inFlight++
+	}
+	v.mu.Unlock()
+	for i := int64(0); i < n; i++ {
+		v.payload(stamped[i*v.bs:(i+1)*v.bs], first+i, vers[i])
+	}
+
+	end, err := v.inner.WriteAt(at, stamped, off)
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.stats.Writes++
+	absorbed := err != nil && v.Tolerate != nil && v.Tolerate(err)
+	if absorbed {
+		v.stats.InjectedErrors++
+	}
+	for i := int64(0); i < n; i++ {
+		st := v.state(first + i)
+		st.inFlight--
+		if err != nil {
+			st.groupErr = true
+		}
+		if st.inFlight == 0 {
+			if st.groupErr {
+				// Faulted group: old content, zeros-if-hole, or any group
+				// member may be on media.
+				st.accepted = append(st.accepted, st.group...)
+				st.dirty = true
+			} else {
+				st.accepted = append(st.accepted[:0], st.group...)
+				st.holeOK = false
+				st.dirty = false
+			}
+			st.group = st.group[:0]
+			st.groupErr = false
+		}
+	}
+	if err != nil && !absorbed {
+		return at, err
+	}
+	if absorbed {
+		return at, nil
+	}
+	return end, nil
+}
+
+// ReadAt implements Target: the inner read runs, then every returned
+// block is checked against the set of plaintexts it may legitimately
+// hold. A failed check with a concurrent or previously-faulted write is
+// uncertain; without one it is silent garbage.
+func (v *Verifier) ReadAt(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
+	if err := v.checkAligned(p, off); err != nil {
+		return at, err
+	}
+	n := int64(len(p)) / v.bs
+	first := off / v.bs
+
+	// Snapshot the candidate sets before issuing: versions acceptable
+	// now stay acceptable for this read even if writes land meanwhile
+	// (those writes join the in-flight set, also snapshotted).
+	type cand struct {
+		vers    []uint64
+		holeOK  bool
+		excused bool // in-flight or dirty: mismatch is uncertain, not garbage
+	}
+	cands := make([]cand, n)
+	v.mu.Lock()
+	for i := int64(0); i < n; i++ {
+		st := v.state(first + i)
+		c := cand{holeOK: st.holeOK, excused: st.inFlight > 0 || st.dirty}
+		c.vers = append(append(c.vers, st.accepted...), st.group...)
+		cands[i] = c
+	}
+	v.mu.Unlock()
+
+	end, err := v.inner.ReadAt(at, p, off)
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.stats.Reads++
+	if err != nil {
+		switch {
+		case v.Loud != nil && v.Loud(err):
+			v.stats.LoudErrors++
+			return at, nil // loud is an acceptable chaos outcome
+		case v.Tolerate != nil && v.Tolerate(err):
+			v.stats.InjectedErrors++
+			return at, nil
+		default:
+			return at, err
+		}
+	}
+	scratch := make([]byte, v.bs)
+	for i := int64(0); i < n; i++ {
+		got := p[i*v.bs : (i+1)*v.bs]
+		c := cands[i]
+		if c.holeOK && isZero(got) {
+			v.stats.HoleBlocks++
+			continue
+		}
+		ok := false
+		for _, ver := range c.vers {
+			v.payload(scratch, first+i, ver)
+			if bytes.Equal(got, scratch) {
+				ok = true
+				break
+			}
+		}
+		switch {
+		case ok:
+			v.stats.VerifiedBlocks++
+		case c.excused:
+			v.stats.UncertainBlocks++
+		default:
+			v.stats.GarbageBlocks++
+		}
+	}
+	return end, nil
+}
+
+func isZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+package fio
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// faultyTarget wraps memTarget and fails or corrupts selected ops.
+type faultyTarget struct {
+	*memTarget
+	failWrite func(off int64) error // pre-write: error without writing
+	failRead  func(off int64) error // pre-read: error without reading
+	corrupt   func(off int64) bool  // post-read: flip a byte in the result
+}
+
+func (f *faultyTarget) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
+	if f.failWrite != nil {
+		if err := f.failWrite(off); err != nil {
+			return at, err
+		}
+	}
+	return f.memTarget.WriteAt(at, p, off)
+}
+
+func (f *faultyTarget) ReadAt(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
+	if f.failRead != nil {
+		if err := f.failRead(off); err != nil {
+			return at, err
+		}
+	}
+	end, err := f.memTarget.ReadAt(at, p, off)
+	if err == nil && f.corrupt != nil && f.corrupt(off) {
+		p[len(p)/2] ^= 0x40
+	}
+	return end, err
+}
+
+var errFakeInjected = errors.New("fake injected fault")
+var errFakeLoud = errors.New("fake integrity failure")
+
+func TestVerifierCleanRoundTrip(t *testing.T) {
+	const bs = 512
+	v := NewVerifier(newMemTarget(1<<20, time.Microsecond), bs)
+	spec := Spec{Pattern: RandWrite, BlockSize: bs, QueueDepth: 4, TotalOps: 200, Seed: 3}
+	if _, err := Run(spec, v, 0); err != nil {
+		t.Fatal(err)
+	}
+	spec.Pattern = RandRead
+	if _, err := Run(spec, v, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := v.Stats()
+	if s.GarbageBlocks != 0 || s.UncertainBlocks != 0 {
+		t.Fatalf("clean run reported problems: %v", s)
+	}
+	if s.VerifiedBlocks+s.HoleBlocks != 200 {
+		t.Fatalf("verified+holes = %d, want 200: %v", s.VerifiedBlocks+s.HoleBlocks, s)
+	}
+	if s.VerifiedBlocks == 0 {
+		t.Fatalf("random reads over random writes never hit written data: %v", s)
+	}
+}
+
+func TestVerifierHoleReadsAreZeros(t *testing.T) {
+	const bs = 512
+	v := NewVerifier(newMemTarget(1<<20, time.Microsecond), bs)
+	buf := make([]byte, bs)
+	if _, err := v.ReadAt(0, buf, 4*bs); err != nil {
+		t.Fatal(err)
+	}
+	s := v.Stats()
+	if s.HoleBlocks != 1 || s.GarbageBlocks != 0 {
+		t.Fatalf("never-written block: %v, want one hole", s)
+	}
+}
+
+func TestVerifierCatchesSilentGarbage(t *testing.T) {
+	const bs = 512
+	ft := &faultyTarget{memTarget: newMemTarget(1<<20, time.Microsecond)}
+	v := NewVerifier(ft, bs)
+	buf := make([]byte, bs)
+	if _, err := v.WriteAt(0, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	ft.corrupt = func(off int64) bool { return true }
+	if _, err := v.ReadAt(0, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := v.Stats()
+	if s.GarbageBlocks != 1 {
+		t.Fatalf("silently corrupted read not flagged: %v", s)
+	}
+}
+
+// discardTarget acknowledges writes without storing them — a lying
+// device whose acked-and-lost writes the verifier must catch as stale
+// data on read-back.
+type discardTarget struct{ *memTarget }
+
+func (d *discardTarget) WriteAt(at vtime.Time, p []byte, off int64) (vtime.Time, error) {
+	return at, nil
+}
+
+func TestVerifierStaleDataIsGarbage(t *testing.T) {
+	const bs = 512
+	v := NewVerifier(&discardTarget{newMemTarget(1<<20, time.Microsecond)}, bs)
+	buf := make([]byte, bs)
+	if _, err := v.WriteAt(0, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, bs)
+	if _, err := v.ReadAt(0, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The write was acked, so zeros are no longer acceptable; the device
+	// returning them anyway is silent data loss.
+	if s := v.Stats(); s.GarbageBlocks != 1 {
+		t.Fatalf("acked-but-dropped write not flagged on read-back: %v", s)
+	}
+}
+
+func TestVerifierAbsorbsInjectedWriteErrors(t *testing.T) {
+	const bs = 512
+	ft := &faultyTarget{memTarget: newMemTarget(1<<20, time.Microsecond)}
+	v := NewVerifier(ft, bs)
+	v.Tolerate = func(err error) bool { return errors.Is(err, errFakeInjected) }
+	buf := make([]byte, bs)
+	if _, err := v.WriteAt(0, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The faulted write is absorbed; the block may now hold either
+	// version, and a read of the old one is uncertain, not garbage.
+	ft.failWrite = func(off int64) error { return errFakeInjected }
+	if _, err := v.WriteAt(0, buf, 0); err != nil {
+		t.Fatalf("injected write error not absorbed: %v", err)
+	}
+	ft.failWrite = nil
+	got := make([]byte, bs)
+	if _, err := v.ReadAt(0, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := v.Stats()
+	if s.InjectedErrors != 1 {
+		t.Fatalf("injected errors = %d, want 1: %v", s.InjectedErrors, s)
+	}
+	if s.GarbageBlocks != 0 || s.VerifiedBlocks != 1 {
+		t.Fatalf("old version after faulted overwrite should verify: %v", s)
+	}
+	// A later clean write re-establishes certainty...
+	if _, err := v.WriteAt(0, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReadAt(0, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s := v.Stats(); s.VerifiedBlocks != 2 || s.GarbageBlocks != 0 {
+		t.Fatalf("clean overwrite after faulted one: %v", s)
+	}
+}
+
+func TestVerifierCountsLoudReadErrors(t *testing.T) {
+	const bs = 512
+	ft := &faultyTarget{memTarget: newMemTarget(1<<20, time.Microsecond)}
+	v := NewVerifier(ft, bs)
+	v.Loud = func(err error) bool { return errors.Is(err, errFakeLoud) }
+	buf := make([]byte, bs)
+	if _, err := v.WriteAt(0, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	ft.failRead = func(off int64) error { return errFakeLoud }
+	if _, err := v.ReadAt(0, buf, 0); err != nil {
+		t.Fatalf("loud read error not absorbed: %v", err)
+	}
+	if s := v.Stats(); s.LoudErrors != 1 || s.GarbageBlocks != 0 {
+		t.Fatalf("loud error tally: %v", s)
+	}
+	// Unclassified errors still propagate.
+	ft.failRead = func(off int64) error { return errors.New("transport exploded") }
+	if _, err := v.ReadAt(0, buf, 0); err == nil {
+		t.Fatal("unclassified read error was swallowed")
+	}
+}

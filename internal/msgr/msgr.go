@@ -13,8 +13,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
@@ -150,6 +152,11 @@ type InProcServer struct {
 	typed   TypedHandler
 	mu      sync.Mutex
 	closed  bool
+
+	// faults, when armed, injects network-level failures (dropped,
+	// delayed and duplicated replies, connection resets, crash windows)
+	// on every connection to this server, from a deterministic plan.
+	faults atomic.Pointer[fault.Injector]
 }
 
 // NewInProcServer wraps a handler.
@@ -162,6 +169,41 @@ func NewInProcServer(h Handler) *InProcServer {
 // connections; the byte handler stays as the codec-compatibility path.
 func (s *InProcServer) SetTypedHandler(th TypedHandler) {
 	s.typed = th
+}
+
+// SetFaults arms (or, with nil, disarms) plan-driven fault injection on
+// every connection to this server. An injected OSD crash is a crash
+// window in the injector's config: calls arriving inside the window
+// fail with fault.ErrOSDDown, and calls after it succeed again — a
+// crash/restart cycle with the server's state intact (the in-process
+// store is the OSD's durable disk, which a real restart would recover).
+func (s *InProcServer) SetFaults(in *fault.Injector) { s.faults.Store(in) }
+
+// injectBefore applies the faults that strike before the handler runs.
+func (s *InProcServer) injectBefore(arrive vtime.Time) error {
+	in := s.faults.Load()
+	if in.Down(arrive) {
+		return fmt.Errorf("msgr: %w", fault.ErrOSDDown)
+	}
+	if in.Hit(fault.ConnReset) {
+		// The request is lost on the wire: the server never saw it.
+		return fmt.Errorf("msgr: %w", fault.ErrConnReset)
+	}
+	return nil
+}
+
+// injectAfter applies the faults that strike a reply. dropped=true
+// means the handler ran (its effects are durable) but the client must
+// see a failure — the ack-loss case idempotent protocols exist for.
+func (s *InProcServer) injectAfter(done vtime.Time) (dropped bool, delayedDone vtime.Time, dup bool) {
+	in := s.faults.Load()
+	if in.Hit(fault.DropReply) {
+		return true, done, false
+	}
+	if in.Hit(fault.DelayReply) {
+		done = done.Add(in.Delay())
+	}
+	return false, done, in.Hit(fault.DupReply)
 }
 
 // Close stops accepting calls.
@@ -224,11 +266,22 @@ func (c *inProcConn) Call(at vtime.Time, req []byte) ([]byte, vtime.Time, error)
 	}
 	mCallsBytes.Inc()
 	arrive := c.reqCost.transmit(at, c.reqLink, len(req))
+	if err := c.srv.injectBefore(arrive); err != nil {
+		return nil, arrive, err
+	}
 	resp, done, err := c.srv.handler(arrive, req)
 	if err != nil {
 		return nil, arrive, fmt.Errorf("msgr: remote: %w", err)
 	}
+	dropped, done, dup := c.srv.injectAfter(done)
+	if dropped {
+		return nil, done, fmt.Errorf("msgr: %w", fault.ErrReplyDropped)
+	}
 	end := c.respCost.transmit(done, c.respLink, len(resp))
+	if dup {
+		// The duplicate occupies the wire again; the caller never sees it.
+		end = c.respCost.transmit(end, c.respLink, len(resp))
+	}
 	mBytesBytes.Add(int64(len(req) + len(resp)))
 	return resp, end, nil
 }
@@ -262,11 +315,22 @@ func (c *inProcTypedConn) CallTyped(at vtime.Time, req Msg) (Msg, vtime.Time, er
 	reqLen := req.WireLen()
 	arrive := c.reqCost.transmit(at, c.reqLink, reqLen)
 	sp.Hop("msgr:req", at, arrive)
+	if err := c.srv.injectBefore(arrive); err != nil {
+		return nil, arrive, err
+	}
 	resp, done, err := c.srv.typed(arrive, req)
 	if err != nil {
 		return nil, arrive, fmt.Errorf("msgr: remote: %w", err)
 	}
+	dropped, done, dup := c.srv.injectAfter(done)
+	if dropped {
+		return nil, done, fmt.Errorf("msgr: %w", fault.ErrReplyDropped)
+	}
 	end := c.respCost.transmit(done, c.respLink, resp.WireLen())
+	if dup {
+		// The duplicate occupies the wire again; the caller never sees it.
+		end = c.respCost.transmit(end, c.respLink, resp.WireLen())
+	}
 	sp.Hop("msgr:resp", done, end)
 	mBytesTyped.Add(int64(reqLen + resp.WireLen()))
 	return resp, end, nil

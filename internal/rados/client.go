@@ -36,15 +36,47 @@ type Client struct {
 // Operate returns: the OSD copies what it persists before replying, and
 // the transport has fully consumed the segments.
 func (c *Client) Operate(at vtime.Time, pool, object string, snapc SnapContext, snapID uint64, ops []Op) ([]Result, vtime.Time, error) {
+	return c.operate(at, c.cmap.PrimaryFor(pool, object), pool, object, snapc, snapID, ops, false)
+}
+
+// OperateOn issues one request directly at a specific OSD, bypassing
+// primary routing — the scrub/repair surface. A replica read fetches
+// one OSD's local copy of an object so a repairer can hunt for an
+// intact replica when the primary's copy fails verification; a direct
+// mutating request is applied to that OSD alone (it is marked Replica
+// so the target does not re-replicate), which is how tests plant
+// corruption on a single copy. The OSD must hold a copy of the object
+// (be in ReplicasFor's set) for the result to be meaningful.
+func (c *Client) OperateOn(at vtime.Time, osd int, pool, object string, snapc SnapContext, snapID uint64, ops []Op) ([]Result, vtime.Time, error) {
+	return c.operate(at, osd, pool, object, snapc, snapID, ops, true)
+}
+
+// ReplicasFor returns the OSDs holding an object's replicas, primary
+// first — the iteration domain for OperateOn-based repair.
+func (c *Client) ReplicasFor(pool, object string) []int {
+	return c.cmap.OSDsFor(c.cmap.PG(pool, object))
+}
+
+func (c *Client) operate(at vtime.Time, osd int, pool, object string, snapc SnapContext, snapID uint64, ops []Op, direct bool) ([]Result, vtime.Time, error) {
 	if len(ops) == 0 {
 		mClientErrors.Inc()
 		return nil, at, fmt.Errorf("rados: empty request")
 	}
-	primary := c.cmap.PrimaryFor(pool, object)
-	conn, ok := c.conns[primary]
+	conn, ok := c.conns[osd]
 	if !ok {
 		mClientErrors.Inc()
-		return nil, at, fmt.Errorf("rados: no connection to osd%d", primary)
+		return nil, at, fmt.Errorf("rados: no connection to osd%d", osd)
+	}
+	// Direct mutations must not fan out again: the caller addressed one
+	// copy on purpose.
+	replica := false
+	if direct {
+		for _, op := range ops {
+			if op.Kind.Mutates() {
+				replica = true
+				break
+			}
+		}
 	}
 	mClientRequests.Inc()
 	mClientBytes.Add(countOps(ops, &mClientOps))
@@ -55,6 +87,7 @@ func (c *Client) Operate(at vtime.Time, pool, object string, snapc SnapContext, 
 		SnapID:  snapID,
 		SnapSeq: snapc.Seq,
 		Ops:     ops,
+		Replica: replica,
 		Span:    sp,
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/blobstore"
 	"repro/internal/crush"
+	"repro/internal/fault"
 	"repro/internal/kvstore"
 	"repro/internal/msgr"
 	"repro/internal/simdisk"
@@ -171,6 +172,29 @@ func (c *Cluster) Map() *ClusterMap { return c.cmap }
 
 // OSDs returns the daemons (for stats and fault injection in tests).
 func (c *Cluster) OSDs() []*OSD { return c.osds }
+
+// ArmFaults installs a deterministic fault plan across the cluster:
+// every OSD messenger endpoint gets an injector keyed by
+// "osd<ID>/msgr" and every disk one keyed by "disk/<name>", so the
+// same plan replays the same failures at the same sites. Crash windows
+// in the plan's config take down every OSD; use Plan.InjectorWith and
+// per-OSD SetFaults to crash one. Pass nil to disarm everything.
+func (c *Cluster) ArmFaults(p *fault.Plan) {
+	for _, o := range c.osds {
+		var srvIn *fault.Injector
+		if p != nil {
+			srvIn = p.Injector(fmt.Sprintf("osd%d/msgr", o.ID()))
+		}
+		o.Server().SetFaults(srvIn)
+		for _, st := range o.Stores() {
+			var dIn *fault.Injector
+			if p != nil {
+				dIn = p.Injector("disk/" + st.Disk().Name())
+			}
+			st.Disk().SetFaults(dIn)
+		}
+	}
+}
 
 // NewClient connects a client host (with its own NIC resource shared by
 // all of its streams) to every OSD.

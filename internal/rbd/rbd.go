@@ -297,6 +297,20 @@ func (img *Image) Operate(at vtime.Time, objIdx int64, snapID uint64, ops []rado
 	return img.client.Operate(at, img.pool, img.ObjectName(objIdx), img.SnapContext(), snapID, ops)
 }
 
+// Replicas returns the OSDs holding one data object's replicas,
+// primary first — the iteration domain for scrub's replica repair.
+func (img *Image) Replicas(objIdx int64) []int {
+	return img.client.ReplicasFor(img.pool, img.ObjectName(objIdx))
+}
+
+// OperateOn issues ops against one data object directly at a specific
+// OSD (one of Replicas), bypassing primary routing — the scrub/repair
+// surface for reading individual copies. See rados.Client.OperateOn
+// for the direct-mutation semantics.
+func (img *Image) OperateOn(at vtime.Time, osd int, objIdx int64, snapID uint64, ops []rados.Op) ([]rados.Result, vtime.Time, error) {
+	return img.client.OperateOn(at, osd, img.pool, img.ObjectName(objIdx), img.SnapContext(), snapID, ops)
+}
+
 // OperateHeader issues ops against the image's header object. The
 // key-lifecycle subsystem keeps its rekey progress records in the header
 // OMAP, next to the snapshot table and the encryption container.

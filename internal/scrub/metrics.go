@@ -1,0 +1,51 @@
+package scrub
+
+// metrics.go: scrub-walker progress gauges and finding counters,
+// labeled by image, resolved once per Scrubber so Step records
+// allocation-free — the same per-image walker pattern as
+// internal/keymgr and internal/clone (see METRICS.md).
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/vtime"
+)
+
+var (
+	mScrubDone = telemetry.NewGaugeVec("scrub_objects_done",
+		"objects the scrub walker has verified", "image")
+	mScrubTotal = telemetry.NewGaugeVec("scrub_objects_total",
+		"objects in the scrub walk domain", "image")
+	mScrubBlocks = telemetry.NewCounterVec("scrub_blocks_checked_total",
+		"present blocks opened and verified by the scrub walker", "image")
+	mScrubFound = telemetry.NewCounterVec("scrub_blocks_bad_total",
+		"blocks that failed scrub verification (integrity or key-epoch failures)", "image")
+	mScrubRepaired = telemetry.NewCounterVec("scrub_blocks_repaired_total",
+		"bad blocks recovered from an intact replica and re-sealed", "image")
+	mScrubDebt = telemetry.NewGaugeVec("scrub_pacer_debt_ns",
+		"scrub pacer debt in virtual nanoseconds (0 = unpaced or inside budget)", "image")
+)
+
+// walkerMetrics is the per-image bundle of resolved series.
+type walkerMetrics struct {
+	done, total, debt       *telemetry.Gauge
+	blocks, found, repaired *telemetry.Counter
+}
+
+func newWalkerMetrics(image string) walkerMetrics {
+	return walkerMetrics{
+		done:     mScrubDone.With(image),
+		total:    mScrubTotal.With(image),
+		debt:     mScrubDebt.With(image),
+		blocks:   mScrubBlocks.With(image),
+		found:    mScrubFound.With(image),
+		repaired: mScrubRepaired.With(image),
+	}
+}
+
+// publish pushes the current cursor (and pacer debt at virtual time at)
+// into the gauges.
+func (s *Scrubber) publish(at vtime.Time) {
+	s.met.done.Set(s.prog.NextObj)
+	s.met.total.Set(s.prog.Objects)
+	s.met.debt.SetDuration(s.pace.Debt(at))
+}

@@ -1,0 +1,182 @@
+package simdisk
+
+// fault_test.go: each device-level fault primitive in isolation — armed
+// with probability 1 so a single command demonstrates the behavior, and
+// checked for the always-loud / never-silent contract each one carries.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func newFaultDisk(t *testing.T) *Disk {
+	t.Helper()
+	return New("faulty", 1024, DefaultCostModel())
+}
+
+func always(k fault.Kind) fault.Config {
+	return fault.Config{Prob: map[fault.Kind]float64{k: 1}}
+}
+
+func sectorOf(b byte) []byte {
+	p := make([]byte, SectorSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestFaultReadError(t *testing.T) {
+	d := newFaultDisk(t)
+	if _, err := d.WriteSectors(0, 0, 1, sectorOf(0xAB)); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaults(fault.NewPlan(1, always(fault.ReadError)).Injector("d"))
+	_, err := d.ReadSectors(0, 0, 1, make([]byte, SectorSize))
+	if !errors.Is(err, fault.ErrReadFault) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("read error = %v, want ErrReadFault wrapping ErrInjected", err)
+	}
+	// Disarm: the media was never touched.
+	d.SetFaults(nil)
+	got := make([]byte, SectorSize)
+	if _, err := d.ReadSectors(0, 0, 1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, sectorOf(0xAB)) {
+		t.Fatal("media changed by an injected read error")
+	}
+}
+
+func TestFaultBitRotTransient(t *testing.T) {
+	d := newFaultDisk(t)
+	want := sectorOf(0x5C)
+	if _, err := d.WriteSectors(0, 3, 1, want); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaults(fault.NewPlan(2, always(fault.BitRot)).Injector("d"))
+	got := make([]byte, SectorSize)
+	if _, err := d.ReadSectors(0, 3, 1, got); err != nil {
+		t.Fatal(err)
+	}
+	if diff := diffBits(got, want); diff != 1 {
+		t.Fatalf("transient rot changed %d bits of the transfer, want 1", diff)
+	}
+	// The media itself is intact: a clean read returns the original.
+	d.SetFaults(nil)
+	clean := make([]byte, SectorSize)
+	if _, err := d.ReadSectors(0, 3, 1, clean); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean, want) {
+		t.Fatal("transient bit rot persisted to media")
+	}
+}
+
+func TestFaultBitRotPersistent(t *testing.T) {
+	d := newFaultDisk(t)
+	want := sectorOf(0x5C)
+	if _, err := d.WriteSectors(0, 3, 1, want); err != nil {
+		t.Fatal(err)
+	}
+	cfg := always(fault.BitRot)
+	cfg.PersistentRot = true
+	d.SetFaults(fault.NewPlan(2, cfg).Injector("d"))
+	got := make([]byte, SectorSize)
+	if _, err := d.ReadSectors(0, 3, 1, got); err != nil {
+		t.Fatal(err)
+	}
+	if diff := diffBits(got, want); diff != 1 {
+		t.Fatalf("persistent rot changed %d bits, want 1", diff)
+	}
+	// Disarmed, the damage is still there — and stays the same.
+	d.SetFaults(nil)
+	clean := make([]byte, SectorSize)
+	if _, err := d.ReadSectors(0, 3, 1, clean); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean, got) {
+		t.Fatal("persistent rot did not survive on media")
+	}
+	// Rewriting heals it.
+	if _, err := d.WriteSectors(0, 3, 1, want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadSectors(0, 3, 1, clean); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean, want) {
+		t.Fatal("rewrite did not heal persistent rot")
+	}
+}
+
+func TestFaultTornWrite(t *testing.T) {
+	d := newFaultDisk(t)
+	// Seed four sectors with a known pattern.
+	old := append(append(append(append([]byte{}, sectorOf(1)...), sectorOf(2)...), sectorOf(3)...), sectorOf(4)...)
+	if _, err := d.WriteSectors(0, 0, 4, old); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaults(fault.NewPlan(5, always(fault.TornWrite)).Injector("d"))
+	neu := append(append(append(append([]byte{}, sectorOf(11)...), sectorOf(12)...), sectorOf(13)...), sectorOf(14)...)
+	_, err := d.WriteSectors(0, 0, 4, neu)
+	if !errors.Is(err, fault.ErrTornWrite) {
+		t.Fatalf("torn write error = %v, want ErrTornWrite", err)
+	}
+	d.SetFaults(nil)
+	got := make([]byte, 4*SectorSize)
+	if _, err := d.ReadSectors(0, 0, 4, got); err != nil {
+		t.Fatal(err)
+	}
+	// Every sector must be exactly the old or exactly the new content —
+	// a prefix of new, then old — never a blend.
+	sawOld := false
+	for i := 0; i < 4; i++ {
+		s := got[i*SectorSize : (i+1)*SectorSize]
+		switch {
+		case bytes.Equal(s, neu[i*SectorSize:(i+1)*SectorSize]):
+			if sawOld {
+				t.Fatalf("sector %d is new after an old sector: not a prefix tear", i)
+			}
+		case bytes.Equal(s, old[i*SectorSize:(i+1)*SectorSize]):
+			sawOld = true
+		default:
+			t.Fatalf("sector %d is neither old nor new content", i)
+		}
+	}
+	if !sawOld {
+		t.Fatal("torn write persisted everything; tear point must be < n")
+	}
+}
+
+func TestFaultLatencySpike(t *testing.T) {
+	d := newFaultDisk(t)
+	base, err := d.ReadSectors(0, 0, 1, make([]byte, SectorSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	cfg := always(fault.LatencySpike)
+	cfg.Delay = 5 * time.Millisecond
+	d.SetFaults(fault.NewPlan(3, cfg).Injector("d"))
+	slow, err := d.ReadSectors(0, 0, 1, make([]byte, SectorSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := slow.Sub(base); got < 5*time.Millisecond {
+		t.Fatalf("latency spike added %v, want >= 5ms", got)
+	}
+}
+
+func diffBits(a, b []byte) int {
+	n := 0
+	for i := range a {
+		for x := a[i] ^ b[i]; x != 0; x &= x - 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/vtime"
 )
 
@@ -121,6 +122,10 @@ type Disk struct {
 	// areas there so a simulated cluster does not hold the image in RAM.
 	// 0 (or >= capacity) retains everything... see SetEphemeralFrom.
 	ephemeralFrom atomic.Int64
+
+	// faults, when armed, injects device-level failures (torn writes,
+	// bit rot, read errors, latency spikes) from a deterministic plan.
+	faults atomic.Pointer[fault.Injector]
 }
 
 // New creates a disk with the given capacity in sectors.
@@ -199,6 +204,23 @@ func (d *Disk) PowerCutAfter(n int64) {
 // exactly what was written before the cut.
 func (d *Disk) PowerRestore() { d.powerCutAt.Store(0) }
 
+// SetFaults arms (or, with nil, disarms) plan-driven fault injection on
+// this device. Torn writes, bit rot, read errors, and latency spikes
+// fire per the injector's seeded decision stream; see internal/fault.
+func (d *Disk) SetFaults(in *fault.Injector) { d.faults.Store(in) }
+
+// corruptMedia flips one injector-chosen bit of a stored sector in
+// place — the persistent form of bit rot. Unwritten (all-zero) sectors
+// are left alone: there is no media to rot.
+func (d *Disk) corruptMedia(in *fault.Injector, sector int64) {
+	chunk, off := sector/chunkSectors, (sector%chunkSectors)*SectorSize
+	d.mu.Lock()
+	if c, ok := d.chunks[chunk]; ok {
+		in.FlipBit(c[off : off+SectorSize])
+	}
+	d.mu.Unlock()
+}
+
 func (d *Disk) checkRange(sector, n int64) error {
 	if sector < 0 || n < 0 || sector+n > d.sectors {
 		return fmt.Errorf("%w: sector %d count %d on %s (%d sectors)",
@@ -217,6 +239,18 @@ func (d *Disk) ReadSectors(at vtime.Time, sector, n int64, p []byte) (vtime.Time
 	if int64(len(p)) < n*SectorSize {
 		return at, fmt.Errorf("simdisk: short buffer for %d sectors", n)
 	}
+	in := d.faults.Load()
+	if in.Hit(fault.ReadError) {
+		return at, fmt.Errorf("%s: read sector %d count %d: %w", d.name, sector, n, fault.ErrReadFault)
+	}
+	rot := n > 0 && in.Hit(fault.BitRot)
+	if rot && in.PersistentRot() {
+		// Latent sector corruption: rot the media itself before the copy
+		// below picks it up, so every future read sees the same damage
+		// until something rewrites the sector.
+		d.corruptMedia(in, sector+int64(in.Intn(int(n))))
+		rot = false
+	}
 	d.mu.RLock()
 	for i := int64(0); i < n; i++ {
 		s := sector + i
@@ -229,9 +263,16 @@ func (d *Disk) ReadSectors(at vtime.Time, sector, n int64, p []byte) (vtime.Time
 		}
 	}
 	d.mu.RUnlock()
+	if rot {
+		// Transient rot: the media is fine, this transfer is not.
+		in.FlipBit(p[:n*SectorSize])
+	}
 	d.readOps.Add(1)
 	d.sectorsRead.Add(n)
 	end := d.res.Use(at, d.cost.ReadCost.Of(n*SectorSize))
+	if in.Hit(fault.LatencySpike) {
+		end = end.Add(in.Delay())
+	}
 	return end, nil
 }
 
@@ -247,9 +288,20 @@ func (d *Disk) WriteSectors(at vtime.Time, sector, n int64, p []byte) (vtime.Tim
 	if cut := d.powerCutAt.Load(); cut > 0 && d.writeOps.Load()+1 >= cut {
 		return at, ErrPowerCut
 	}
+	in := d.faults.Load()
+	persist := n
+	var tornErr error
+	if n > 0 && in.Hit(fault.TornWrite) {
+		// Power-loss tear: only a prefix of the command reaches media and
+		// the command fails — the caller must treat the range as
+		// undefined until re-written.
+		persist = int64(in.Intn(int(n)))
+		tornErr = fmt.Errorf("%s: write sector %d count %d persisted %d: %w",
+			d.name, sector, n, persist, fault.ErrTornWrite)
+	}
 	eph := d.ephemeralFrom.Load()
 	d.mu.Lock()
-	for i := int64(0); i < n; i++ {
+	for i := int64(0); i < persist; i++ {
 		s := sector + i
 		if s >= eph {
 			continue // cost-only region: payload discarded
@@ -264,8 +316,14 @@ func (d *Disk) WriteSectors(at vtime.Time, sector, n int64, p []byte) (vtime.Tim
 	}
 	d.mu.Unlock()
 	d.writeOps.Add(1)
-	d.sectorsWritten.Add(n)
+	d.sectorsWritten.Add(persist)
+	if tornErr != nil {
+		return at, tornErr
+	}
 	end := d.res.Use(at, d.cost.WriteCost.Of(n*SectorSize))
+	if in.Hit(fault.LatencySpike) {
+		end = end.Add(in.Delay())
+	}
 	return end, nil
 }
 

@@ -43,10 +43,12 @@ import (
 
 	"repro/internal/clone"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/fio"
 	"repro/internal/keymgr"
 	"repro/internal/rados"
 	"repro/internal/rbd"
+	"repro/internal/scrub"
 	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
@@ -87,6 +89,16 @@ type (
 	Flattener = clone.Flattener
 	// FlattenProgress is the persisted flatten cursor.
 	FlattenProgress = clone.FlattenProgress
+	// Scrubber drives a background integrity verification walk (see
+	// internal/scrub).
+	Scrubber = scrub.Scrubber
+	// ScrubProgress is the persisted scrub cursor.
+	ScrubProgress = scrub.Progress
+	// FaultPlan is a seeded, replayable fault-injection plan (see
+	// internal/fault); arm it with Cluster.ArmFaults.
+	FaultPlan = fault.Plan
+	// FaultConfig selects fault kinds, probabilities and crash windows.
+	FaultConfig = fault.Config
 	// Pacer is a virtual-time admission budget for background walkers.
 	Pacer = vtime.Pacer
 	// TraceRecord is one finished per-op trace span (see
@@ -186,10 +198,35 @@ func ResumeRekey(img *EncryptedImage) (*Rekeyer, error) {
 	return r, err
 }
 
+// StartScrub begins a background integrity sweep over an encrypted
+// image: every present block is read and opened under its recorded key
+// epoch, and blocks that fail verification are repaired from intact
+// replica copies. Drive it with Run (or Step); the walk is
+// crash-resumable via ResumeScrub. Only authenticated schemes
+// (SchemeGCM) detect ciphertext corruption; for the length-preserving
+// schemes the sweep verifies structure only.
+func StartScrub(img *EncryptedImage) (*Scrubber, error) {
+	s, _, err := scrub.Start(0, img)
+	return s, err
+}
+
+// ResumeScrub reattaches to an interrupted integrity sweep after a
+// client restart or crash.
+func ResumeScrub(img *EncryptedImage) (*Scrubber, error) {
+	s, _, err := scrub.Resume(0, img)
+	return s, err
+}
+
+// NewFaultPlan builds a deterministic fault-injection plan: the same
+// seed and config replay the same per-site failure decisions. Arm it on
+// a cluster with Cluster.ArmFaults(plan); disarm with ArmFaults(nil).
+func NewFaultPlan(seed int64, cfg FaultConfig) *FaultPlan { return fault.NewPlan(seed, cfg) }
+
 // NewPacer builds a walker admission budget capping iops operations and
 // bytesPerSec payload bytes per second of virtual time (non-positive =
-// uncapped); hand it to Rekeyer.SetPace / Flattener.SetPace. One pacer
-// shared by several walkers caps their combined rate.
+// uncapped); hand it to Rekeyer.SetPace / Flattener.SetPace /
+// Scrubber.SetPace. One pacer shared by several walkers caps their
+// combined rate.
 func NewPacer(iops, bytesPerSec float64) *Pacer { return vtime.NewPacer(iops, bytesPerSec) }
 
 // CloneEncryptedImage creates childName as an encrypted copy-on-write
