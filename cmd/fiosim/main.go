@@ -12,6 +12,13 @@
 // that holds every read to the correct-or-loud contract:
 //
 //	fiosim -rw randread -bs 4 -qd 8 -ops 2000 -scheme gcm-auth -chaos-seed 7
+//
+// -health brackets the measured run with health-monitor snapshots and
+// prints the SLO verdict table over the run window — under a chaos
+// seed the fault-rate and error-rate rules fire; clean runs print all
+// ok:
+//
+//	fiosim -rw randwrite -bs 4 -qd 8 -ops 2000 -chaos-seed 7 -health
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/health"
 	"repro/internal/vtime"
 )
 
@@ -44,6 +52,7 @@ func main() {
 		trimPct    = flag.Int("trim", 0, "percentage of ops issued as discards")
 		metrics    = flag.Bool("metrics", false, "dump the Prometheus-text telemetry snapshot after the run")
 		traces     = flag.Bool("traces", false, "dump recent and slow per-op trace spans after the run")
+		healthFlag = flag.Bool("health", false, "evaluate the SLO health rules over the run window and print the verdict table")
 		chaosSeed  = flag.Int64("chaos-seed", 0, "arm a deterministic fault plan with this seed (0 = off) and verify every read: correct plaintext or loud error")
 	)
 	flag.Parse()
@@ -107,6 +116,14 @@ func main() {
 	}
 	fmt.Printf("preconditioned %d MiB image (%v/%v)\n", *imageMB, scheme, layout)
 
+	// The health monitor brackets the measured run: one snapshot before,
+	// one after, so the rules evaluate over exactly the run window.
+	var mon *health.Monitor
+	if *healthFlag {
+		mon = health.NewMonitor(telemetry.Default, 0, nil)
+		mon.Observe(now)
+	}
+
 	if *chaosSeed != 0 {
 		// Network faults only: each is atomic per request (fully executed
 		// or never ran), so every manifestation is either tolerated or
@@ -157,6 +174,10 @@ func main() {
 	}
 	fmt.Printf("wall time: %v\n", res.WallTime)
 
+	if mon != nil {
+		mon.Observe(res.End)
+		fmt.Printf("\n%s\n", mon.Report(res.End))
+	}
 	if *traces {
 		fmt.Println("\nrecent op traces (newest first):")
 		for _, rec := range telemetry.Ops.Recent() {

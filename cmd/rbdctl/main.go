@@ -10,6 +10,9 @@
 //	rbdctl -scheme xts-rand -layout object-end clone
 //	rbdctl -scheme xts-rand -layout object-end flatten
 //	rbdctl -scheme gcm-auth -layout object-end scrub
+//	rbdctl top
+//	rbdctl health
+//	rbdctl events
 //
 // demo creates an encrypted image, writes data, snapshots, overwrites,
 // reads both versions back and prints storage-level counters. rekey
@@ -23,24 +26,36 @@
 // single-copy ciphertext rot, then drives a paced background integrity
 // sweep that detects it and repairs it from the intact replicas (with
 // gcm-auth; the length-preserving schemes cannot see rot — the paper's
-// integrity argument).
+// integrity argument). top runs a workload and renders a live per-OSD
+// dashboard from the history ring (request/device rates, serve p99)
+// with the health verdict under it. health drives the cluster red with
+// an armed fault plan and back to green after disarming, printing the
+// SLO verdict table at each phase. events runs a small lifecycle
+// (rekey, chaos burst, scrub) and dumps the structured event journal.
 package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/fio"
 	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/health"
+	"repro/internal/telemetry/history"
 )
 
 func main() {
@@ -52,9 +67,9 @@ func main() {
 	flag.Parse()
 	verb := flag.Arg(0)
 	switch verb {
-	case "demo", "rekey", "discard", "clone", "flatten", "status", "scrub":
+	case "demo", "rekey", "discard", "clone", "flatten", "status", "scrub", "top", "health", "events":
 	default:
-		fmt.Fprintln(os.Stderr, "usage: rbdctl [-scheme S] [-layout L] [-size MB] demo|rekey|discard|clone|flatten|status|scrub")
+		fmt.Fprintln(os.Stderr, "usage: rbdctl [-scheme S] [-layout L] [-size MB] demo|rekey|discard|clone|flatten|status|scrub|top|health|events")
 		os.Exit(2)
 	}
 	scheme, err := core.ParseScheme(*schemeName)
@@ -96,6 +111,187 @@ func main() {
 		status(img)
 	case "scrub":
 		scrubDemo(img)
+	case "top":
+		top(img)
+	case "health":
+		healthDemo(cluster, img)
+	case "events":
+		eventsDemo(cluster, img)
+	}
+}
+
+// top is the live per-OSD dashboard: it runs a random-write workload
+// in bursts and, after each burst, snapshots the registry into a
+// history ring and renders per-OSD request/device rates and serve p99
+// over the burst window, with the health verdict line under the table.
+func top(img *repro.EncryptedImage) {
+	span := img.Size()
+	if span > 8<<20 {
+		span = 8 << 20
+	}
+	now, err := fio.Precondition(img, span, 4096, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon := repro.NewHealthMonitor(0)
+	mon.Observe(now)
+
+	for frame := 1; frame <= 5; frame++ {
+		res, err := repro.RunWorkload(repro.WorkloadSpec{
+			Pattern: fio.RandWrite, BlockSize: 4096, QueueDepth: 8,
+			Span: span, TotalOps: 256, Seed: int64(frame),
+		}, img, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		window := res.End.Sub(now)
+		now = res.End
+		mon.Observe(now)
+
+		fmt.Printf("\nframe %d  t=%v  window=%v\n", frame, time.Duration(now), window)
+		fmt.Printf("  %-4s %10s %10s %10s %10s %12s\n",
+			"osd", "prim req/s", "repl req/s", "dev wr/s", "dev rd/s", "serve p99")
+		hist := mon.History()
+		secs := window.Seconds()
+		for _, id := range osdIDs(hist, window) {
+			prim := hist.Delta("osd_requests_total", fmt.Sprintf(`{role="primary",osd="%s"}`, id), window)
+			repl := hist.Delta("osd_requests_total", fmt.Sprintf(`{role="replica",osd="%s"}`, id), window)
+			wr := hist.Delta("device_write_ops_total", fmt.Sprintf(`{osd="%s"}`, id), window)
+			rd := hist.Delta("device_read_ops_total", fmt.Sprintf(`{osd="%s"}`, id), window)
+			p99 := hist.SeriesQuantile("osd_serve_vtime", fmt.Sprintf(`{osd="%s"}`, id), 0.99, window)
+			fmt.Printf("  %-4s %10.0f %10.0f %10.0f %10.0f %12v\n",
+				id, float64(prim)/secs, float64(repl)/secs, float64(wr)/secs, float64(rd)/secs, p99)
+		}
+		rep := mon.Report(now)
+		fmt.Printf("  health: %v (%d rules firing)\n", rep.Status, len(rep.Firing()))
+	}
+}
+
+// osdIDs collects the OSD ids with any request activity in the window,
+// sorted numerically, by walking the per-OSD request series.
+func osdIDs(hist *history.History, w repro.Duration) []string {
+	seen := map[string]bool{}
+	hist.EachDelta("device_write_ops_total", w, func(labels string, delta int64, ok bool) {
+		id := strings.TrimSuffix(strings.TrimPrefix(labels, `{osd="`), `"}`)
+		if id != labels {
+			seen[id] = true
+		}
+	})
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, _ := strconv.Atoi(ids[i])
+		b, _ := strconv.Atoi(ids[j])
+		return a < b
+	})
+	return ids
+}
+
+// healthDemo drives the cluster red and back to green, printing the
+// SLO verdict table at each phase: an armed fault plan under load flips
+// the overall status with the fault-rate, error-rate and latency rules
+// firing; disarming and running clean for a full health window returns
+// every verdict to ok.
+func healthDemo(cluster *repro.Cluster, img *repro.EncryptedImage) {
+	span := img.Size()
+	if span > 8<<20 {
+		span = 8 << 20
+	}
+	v := fio.NewVerifier(img, 4096)
+	v.Tolerate = func(err error) bool { return errors.Is(err, fault.ErrInjected) }
+	now, err := fio.Precondition(v, span, 4096, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon := repro.NewHealthMonitor(0)
+	mon.Observe(now)
+
+	fmt.Println("arming fault plan: drop-reply 5%, delay-reply 8% (30ms), conn-reset 3%")
+	plan := repro.NewFaultPlan(7, repro.FaultConfig{
+		Prob: map[fault.Kind]float64{
+			fault.DropReply:  0.05,
+			fault.DelayReply: 0.08,
+			fault.ConnReset:  0.03,
+		},
+		Delay: 30 * time.Millisecond,
+	})
+	cluster.ArmFaults(plan)
+	for _, pat := range []fio.Pattern{fio.RandWrite, fio.RandRead} {
+		res, err := fio.Run(fio.Spec{Pattern: pat, BlockSize: 4096, QueueDepth: 4,
+			Span: span, TotalOps: 400, Seed: 7}, v, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		now = res.End
+	}
+	mon.Observe(now)
+	fmt.Printf("\nunder chaos (%d injected faults tolerated):\n%s\n",
+		v.Stats().InjectedErrors, mon.Report(now))
+
+	fmt.Println("\ndisarming faults; running clean for a full health window...")
+	cluster.ArmFaults(nil)
+	greenStart := now
+	for now.Sub(greenStart) < health.DefaultWindow+50*repro.Duration(1e6) {
+		res, err := fio.Run(fio.Spec{Pattern: fio.RandWrite, BlockSize: 4096, QueueDepth: 4,
+			Span: span, TotalOps: 200, Seed: 11}, v, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		now = res.End
+	}
+	mon.Observe(now)
+	fmt.Printf("\nafter recovery:\n%s\n", mon.Report(now))
+}
+
+// eventsDemo runs a small lifecycle — an online rekey, a chaos burst,
+// and a scrub sweep — then dumps the structured event journal that
+// recorded it, newest first.
+func eventsDemo(cluster *repro.Cluster, img *repro.EncryptedImage) {
+	span := img.Size()
+	if span > 8<<20 {
+		span = 8 << 20
+	}
+	v := fio.NewVerifier(img, 4096)
+	v.Tolerate = func(err error) bool { return errors.Is(err, fault.ErrInjected) }
+	now, err := fio.Precondition(v, span, 4096, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := repro.StartRekey(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if now, err = r.Run(now); err != nil {
+		log.Fatal(err)
+	}
+
+	plan := repro.NewFaultPlan(3, repro.FaultConfig{
+		Prob: map[fault.Kind]float64{fault.DropReply: 0.05},
+	})
+	cluster.ArmFaults(plan)
+	res, err := fio.Run(fio.Spec{Pattern: fio.RandRead, BlockSize: 4096, QueueDepth: 4,
+		Span: span, TotalOps: 200, Seed: 3}, v, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	now = res.End
+	cluster.ArmFaults(nil)
+
+	s, err := repro.StartScrub(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err = s.Run(now); err != nil {
+		log.Fatal(err)
+	}
+
+	evs := repro.Events()
+	fmt.Printf("event journal (%d entries, newest first):\n", len(evs))
+	for _, e := range evs {
+		fmt.Printf("  %s\n", e)
 	}
 }
 

@@ -1,0 +1,26 @@
+// Package history seeds atomicstate violations in a package named like
+// the time-series history ring: its snapshot meta-metrics are recorded
+// from the same lock-free discipline as the rest of telemetry, so a
+// metric struct defined here is held to the same atomic-only rule.
+package history
+
+import "sync/atomic"
+
+// Counter is the clean shape: atomic value plus padding.
+type Counter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Gauge smuggles a plain snapshot cache next to the atomic.
+type Gauge struct {
+	v        atomic.Int64
+	lastSeen int64 // want "metric struct Gauge field lastSeen is int64"
+}
+
+// ring is not a metric struct; the single-writer sample rings hold
+// plain values by design and must not be flagged.
+type ring struct {
+	times  []int64
+	values []int64
+}

@@ -54,6 +54,7 @@ type listedPackage struct {
 	GoFiles      []string
 	TestGoFiles  []string
 	XTestGoFiles []string
+	Imports      []string
 	Module       *listedModule
 }
 
@@ -80,7 +81,7 @@ func goList(dir string, args ...string) ([]*listedPackage, error) {
 	return pkgs, nil
 }
 
-const listFields = "-json=ImportPath,Name,Dir,Standard,Export,ForTest,GoFiles,TestGoFiles,XTestGoFiles,Module"
+const listFields = "-json=ImportPath,Name,Dir,Standard,Export,ForTest,GoFiles,TestGoFiles,XTestGoFiles,Imports,Module"
 
 // RunStandalone analyzes the module packages matching patterns (resolved
 // relative to dir) with the given analyzers and returns the findings.
@@ -241,19 +242,41 @@ func RunStandalone(dir string, patterns []string, analyzers []*Analyzer) ([]Find
 		}
 
 		// External test package: its import of the package under test
-		// resolves to the test variant, as in a real test build.
+		// resolves to the test variant, as in a real test build — and so
+		// do the imports of any module package between the xtest and the
+		// package under test (cmd/go recompiles those against the test
+		// variant too; resolving them to the base build would make the
+		// same named type come from two distinct *types.Packages and fail
+		// checking with a confusing self-mismatch).
 		if len(listed.XTestGoFiles) > 0 {
 			files, err := parse(listed, listed.XTestGoFiles)
 			if err != nil {
 				return nil, err
 			}
 			ownPath := m.ImportPath
-			xImp := importerFunc(func(path string) (*types.Package, error) {
+			variants := make(map[string]*types.Package)
+			var xImp importerFunc
+			xImp = func(path string) (*types.Package, error) {
 				if path == ownPath && testPkg != nil {
 					return testPkg, nil
 				}
+				if v, ok := variants[path]; ok {
+					return v, nil
+				}
+				if dep := mods[path]; dep != nil && testPkg != nil && dependsOn(mods, path, ownPath) {
+					vfiles, err := parse(dep, dep.GoFiles)
+					if err != nil {
+						return nil, err
+					}
+					pkg, _, err := check(path, vfiles, xImp)
+					if err != nil {
+						return nil, fmt.Errorf("%s [as dep of %s_test]: %v", path, ownPath, err)
+					}
+					variants[path] = pkg
+					return pkg, nil
+				}
 				return baseImporter(path)
-			})
+			}
 			pkg, info, err := check(m.ImportPath+"_test", files, xImp)
 			if err != nil {
 				return nil, fmt.Errorf("%s [xtest]: %v", m.ImportPath, err)
@@ -275,6 +298,31 @@ func RunStandalone(dir string, patterns []string, analyzers []*Analyzer) ([]Find
 		return fi.Position.Column < fj.Position.Column
 	})
 	return findings, nil
+}
+
+// dependsOn reports whether module package from transitively imports
+// target, walking the `go list` import graph restricted to the main
+// module (out-of-module packages cannot import back into it).
+func dependsOn(mods map[string]*listedPackage, from, target string) bool {
+	seen := make(map[string]bool)
+	var walk func(path string) bool
+	walk = func(path string) bool {
+		if seen[path] {
+			return false
+		}
+		seen[path] = true
+		p := mods[path]
+		if p == nil {
+			return false
+		}
+		for _, imp := range p.Imports {
+			if imp == target || walk(imp) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
 }
 
 // importerFunc adapts a function to types.Importer.

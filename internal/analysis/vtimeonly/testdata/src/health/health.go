@@ -1,0 +1,24 @@
+// Package health seeds vtimeonly violations in a package named like
+// the health engine: rule evaluation windows are anchored to the vtime
+// the caller passes to Eval, so sampling the host clock here would make
+// the same cluster state produce different verdicts run to run.
+package health
+
+import "time"
+
+type verdict struct {
+	evaluatedAt int64
+	firing      bool
+}
+
+func badEvalStamp(v *verdict) {
+	v.evaluatedAt = time.Now().UnixNano() // want "time.Now reads the host clock"
+}
+
+func badStaleCheck(lastSeen time.Time) bool {
+	return time.Since(lastSeen) > time.Second // want "time.Since reads the host clock"
+}
+
+func okWindow(at, lastSeen int64) bool {
+	return at-lastSeen > int64(time.Second)
+}

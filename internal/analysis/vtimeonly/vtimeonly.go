@@ -32,6 +32,8 @@ var simulationPackages = map[string]bool{
 	"telemetry": true,
 	"fault":     true,
 	"scrub":     true,
+	"history":   true,
+	"health":    true,
 }
 
 // bannedTime are the time functions that sample or schedule against the

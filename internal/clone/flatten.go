@@ -17,6 +17,7 @@ import (
 	"errors"
 
 	"repro/internal/rbd"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -114,6 +115,7 @@ func StartFlatten(at vtime.Time, img *Image) (*Flattener, vtime.Time, error) {
 		return nil, at, err
 	}
 	f.publish(at)
+	telemetry.Log.Append(at, telemetry.EventFlattenStart, img.enc.Image().Name(), "copyup walk", f.prog.Objects)
 	return f, at, nil
 }
 
@@ -172,6 +174,7 @@ func (f *Flattener) Step(at vtime.Time) (done bool, end vtime.Time, err error) {
 		at, err = f.clearProgress(at)
 		if err == nil {
 			f.publish(at)
+			telemetry.Log.Append(at, telemetry.EventFlattenFinish, img.enc.Image().Name(), "blocks copied", f.prog.Copied)
 		}
 		return err == nil, at, err
 	}

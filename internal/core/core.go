@@ -23,6 +23,7 @@ import (
 	"repro/internal/luks"
 	"repro/internal/rados"
 	"repro/internal/rbd"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -761,6 +762,7 @@ func (e *EncryptedImage) BeginEpoch(at vtime.Time) (uint32, vtime.Time, error) {
 	}
 	e.ring.install(epoch, c)
 	e.ring.setCurrent(epoch)
+	telemetry.Log.Append(end, telemetry.EventEpochAdd, e.img.Name(), "minted", int64(epoch))
 	return epoch, end, nil
 }
 
@@ -785,6 +787,7 @@ func (e *EncryptedImage) DropEpoch(at vtime.Time, epoch uint32) (vtime.Time, err
 	}
 	clear(entry.Wrapped)
 	e.ring.drop(epoch)
+	telemetry.Log.Append(end, telemetry.EventEpochRetire, e.img.Name(), "crypto-erased", int64(epoch))
 	return end, nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -216,6 +217,20 @@ func (in *Injector) Hit(k Kind) bool {
 	return hit
 }
 
+// HitAt is Hit stamped with the virtual time of the opportunity: a
+// firing is additionally journalled as a fault-fired event at `at`, so
+// the health plane's event timeline shows when each fault landed. The
+// arming points (simdisk, msgr) use this form; Hit remains for callers
+// without a timestamp in hand. Alloc-free: the site name and the kind's
+// String are retained/static.
+func (in *Injector) HitAt(at vtime.Time, k Kind) bool {
+	if !in.Hit(k) {
+		return false
+	}
+	telemetry.Log.Append(at, telemetry.EventFaultFired, in.site, k.String(), 1)
+	return true
+}
+
 // Delay returns the configured latency-spike magnitude.
 func (in *Injector) Delay() time.Duration {
 	if in == nil {
@@ -239,6 +254,7 @@ func (in *Injector) Down(at vtime.Time) bool {
 	for _, w := range in.cfg.Down {
 		if w.contains(at) {
 			mDown.Inc()
+			telemetry.Log.Append(at, telemetry.EventFaultFired, in.site, "osd-down", 1)
 			return true
 		}
 	}

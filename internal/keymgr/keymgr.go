@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/luks"
 	"repro/internal/rbd"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -141,6 +142,7 @@ func Start(at vtime.Time, img *core.EncryptedImage) (*Rekeyer, vtime.Time, error
 		}
 		return nil, at, fmt.Errorf("keymgr: container minted epoch %d, progress record expected %d", to, r.prog.To)
 	}
+	telemetry.Log.Append(at, telemetry.EventRekeyStart, img.Image().Name(), "epoch transition", int64(to))
 	return r, at, nil
 }
 
@@ -236,6 +238,7 @@ func (r *Rekeyer) Step(at vtime.Time) (done bool, end vtime.Time, err error) {
 		at, err = r.clearProgress(at)
 		if err == nil {
 			r.publish(at)
+			telemetry.Log.Append(at, telemetry.EventRekeyFinish, r.img.Image().Name(), "blocks re-sealed", r.prog.Rekeyed)
 		}
 		return err == nil, at, err
 	}

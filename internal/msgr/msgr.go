@@ -185,7 +185,7 @@ func (s *InProcServer) injectBefore(arrive vtime.Time) error {
 	if in.Down(arrive) {
 		return fmt.Errorf("msgr: %w", fault.ErrOSDDown)
 	}
-	if in.Hit(fault.ConnReset) {
+	if in.HitAt(arrive, fault.ConnReset) {
 		// The request is lost on the wire: the server never saw it.
 		return fmt.Errorf("msgr: %w", fault.ErrConnReset)
 	}
@@ -197,13 +197,13 @@ func (s *InProcServer) injectBefore(arrive vtime.Time) error {
 // see a failure — the ack-loss case idempotent protocols exist for.
 func (s *InProcServer) injectAfter(done vtime.Time) (dropped bool, delayedDone vtime.Time, dup bool) {
 	in := s.faults.Load()
-	if in.Hit(fault.DropReply) {
+	if in.HitAt(done, fault.DropReply) {
 		return true, done, false
 	}
-	if in.Hit(fault.DelayReply) {
+	if in.HitAt(done, fault.DelayReply) {
 		done = done.Add(in.Delay())
 	}
-	return false, done, in.Hit(fault.DupReply)
+	return false, done, in.HitAt(done, fault.DupReply)
 }
 
 // Close stops accepting calls.

@@ -86,6 +86,7 @@ func (c *Client) operate(at vtime.Time, osd int, pool, object string, snapc Snap
 		Object:  object,
 		SnapID:  snapID,
 		SnapSeq: snapc.Seq,
+		TraceID: sp.TraceID(), // 0 when unsampled — "untraced" on the wire
 		Ops:     ops,
 		Replica: replica,
 		Span:    sp,
@@ -109,6 +110,7 @@ func (c *Client) operate(at vtime.Time, osd int, pool, object string, snapc Snap
 			sp.Finish(end)
 			return nil, end, fmt.Errorf("rados: %d results for %d ops", len(reply.Results), len(ops))
 		}
+		mergeWireHops(sp, reply.Hops)
 		mClientLat.Observe(end.Sub(at))
 		sp.Finish(end)
 		return reply.Results, end, nil
@@ -135,9 +137,23 @@ func (c *Client) operate(at vtime.Time, osd int, pool, object string, snapc Snap
 		sp.Finish(end)
 		return nil, end, fmt.Errorf("rados: %d results for %d ops", len(reply.Results), len(ops))
 	}
+	mergeWireHops(sp, reply.Hops)
 	mClientLat.Observe(end.Sub(at))
 	sp.Finish(end)
 	return reply.Results, end, nil
+}
+
+// mergeWireHops stitches the server-reported trace hops (OSD serve,
+// replica serves, replication fan-out) into the client's span — the
+// receiving end of the wire-propagated trace context. Nil-safe like
+// every span call; untraced requests answer with no hops.
+func mergeWireHops(sp *telemetry.Span, hops []telemetry.Hop) {
+	if sp == nil {
+		return
+	}
+	for _, h := range hops {
+		sp.Hop(h.Name, h.Start, h.End)
+	}
 }
 
 // Write is a convenience wrapper for a single data write.

@@ -134,6 +134,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	kvSectors := cfg.Blob.KVBytes / simdisk.SectorSize
 	for id := 0; id < cfg.OSDs; id++ {
 		var disks []*simdisk.Disk
+		// One osd-labeled handle set per OSD, shared by its disks — the
+		// label-cardinality rule: resolved here at construction, never
+		// on an IO path.
+		devm := newDeviceMetrics(id)
 		for d := 0; d < cfg.DisksPerOSD; d++ {
 			disk := simdisk.New(fmt.Sprintf("osd%d/nvme%d", id, d), cfg.DiskSectors, cfg.DiskCost)
 			if cfg.EphemeralData {
@@ -141,6 +145,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				// retained; only the bulk data area is cost-only.
 				disk.SetEphemeralFrom(kvSectors)
 			}
+			disk.SetMetrics(devm)
 			disks = append(disks, disk)
 		}
 		osd, _, err := NewOSD(0, id, cmap, disks, cfg.Blob, cfg.OSDCost)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/crush"
 	"repro/internal/msgr"
 	"repro/internal/simdisk"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -44,6 +45,7 @@ type OSD struct {
 	cpu    *vtime.MultiResource
 	cost   OSDCost
 	srv    *msgr.InProcServer
+	met    *osdMetrics
 
 	mu       sync.Mutex
 	peers    map[int]msgr.Conn
@@ -99,6 +101,7 @@ func NewOSD(at vtime.Time, id int, cmap *ClusterMap, disks []*simdisk.Disk, blob
 		cmap:     cmap,
 		cpu:      vtime.NewMultiResource(fmt.Sprintf("osd%d/cpu", id), cost.Cores),
 		cost:     cost,
+		met:      newOSDMetrics(id),
 		peers:    make(map[int]msgr.Conn),
 		objLocks: make(map[string]*sync.Mutex),
 		snapInfo: make(map[string]*snapInfo),
@@ -190,12 +193,13 @@ func (o *OSD) handleTyped(at vtime.Time, m msgr.Msg) (msgr.Msg, vtime.Time, erro
 // forms.
 func (o *OSD) serve(at vtime.Time, req *Request) (*Reply, vtime.Time, error) {
 	entry := at
+	m := o.met
 	if req.Replica {
-		mOSDReplica.Inc()
+		m.replica.Inc()
 	} else {
-		mOSDPrimary.Inc()
+		m.primary.Inc()
 	}
-	mOSDBytes.Add(countOps(req.Ops, &mOSDOps))
+	m.bytes.Add(countOps(req.Ops, &m.ops))
 
 	// CPU admission cost.
 	var bytes int64
@@ -219,33 +223,45 @@ func (o *OSD) serve(at vtime.Time, req *Request) (*Reply, vtime.Time, error) {
 	results, localEnd, err := o.execute(at, fullName, req)
 	lock.Unlock()
 	if err != nil {
-		mOSDErrors.Inc()
+		m.errors.Inc()
 		return nil, at, err
 	}
-	req.Span.Hop("osd:serve", entry, localEnd)
+	reply := &Reply{Results: results}
+	// Traced requests report their serve timing in the reply rather
+	// than on a local span: the hop list rides the wire back, so the
+	// client (and, for replica forwards, the primary) merges every
+	// remote hop into the one client-side timeline — including across
+	// the byte codec, where no span pointer can travel.
+	if req.TraceID != 0 {
+		reply.Hops = append(reply.Hops, telemetry.Hop{Name: m.serveHop, Start: entry, End: localEnd})
+	}
 
 	end := localEnd
 	if mutating && !req.Replica {
-		end, err = o.replicate(at, req, end)
+		end, err = o.replicate(at, req, end, reply)
 		if err != nil {
-			mOSDErrors.Inc()
+			m.errors.Inc()
 			return nil, at, err
 		}
 		// The fan-out is issued at the post-admission time, concurrent
 		// with the local commit; its hop spans forward to slowest ack.
-		mOSDReplications.Inc()
-		mOSDReplLat.Observe(end.Sub(at))
-		req.Span.Hop("osd:replicate", at, end)
+		m.replications.Inc()
+		m.replLat.Observe(end.Sub(at))
+		if req.TraceID != 0 {
+			reply.Hops = append(reply.Hops, telemetry.Hop{Name: m.replHop, Start: at, End: end})
+		}
 	}
-	mOSDServeLat.Observe(end.Sub(entry))
-	return &Reply{Results: results}, end, nil
+	m.serveLat.Observe(end.Sub(entry))
+	return reply, end, nil
 }
 
 // replicate runs primary-copy replication: the request is forwarded to
 // the other replicas in parallel — typed when the peer connection allows
 // it, scatter-gather marshaled otherwise — and the write is acknowledged
-// when every copy is durable.
-func (o *OSD) replicate(at vtime.Time, req *Request, end vtime.Time) (vtime.Time, error) {
+// when every copy is durable. For traced requests the replicas' reply
+// hops are merged into reply so the client's stitched timeline includes
+// every replica serve.
+func (o *OSD) replicate(at vtime.Time, req *Request, end vtime.Time, reply *Reply) (vtime.Time, error) {
 	pg := o.cmap.PG(req.Pool, req.Object)
 	replicas := o.cmap.OSDsFor(pg)
 	conns := make([]msgr.Conn, 0, len(replicas)-1)
@@ -266,10 +282,12 @@ func (o *OSD) replicate(at vtime.Time, req *Request, end vtime.Time) (vtime.Time
 	}
 
 	// The forward shares the request's op vector (read-only on the peer)
-	// with the replica flag set, so no payload is re-staged. The trace
-	// span does NOT travel: replicas run on concurrent goroutines, and a
-	// span admits a single writer — the primary records the one
-	// osd:replicate hop instead.
+	// with the replica flag set, so no payload is re-staged. The span
+	// pointer does NOT travel — replicas run on concurrent goroutines,
+	// and a span admits a single writer — but the TraceID does (the
+	// struct copy keeps it): each replica reports its serve hop in its
+	// reply, and the primary merges them below, single-threaded, after
+	// the acks are collected.
 	fwd := *req
 	fwd.Replica = true
 	fwd.Span = nil
@@ -283,20 +301,36 @@ func (o *OSD) replicate(at vtime.Time, req *Request, end vtime.Time) (vtime.Time
 	}
 
 	type repl struct {
-		end vtime.Time
-		err error
+		end  vtime.Time
+		hops []telemetry.Hop
+		err  error
 	}
 	ch := make(chan repl, len(conns))
 	for _, conn := range conns {
 		go func(c msgr.Conn) {
-			var rend vtime.Time
-			var rerr error
+			var r repl
 			if tc, ok := c.(msgr.TypedConn); ok {
-				_, rend, rerr = tc.CallTyped(at, &fwd)
+				var resp msgr.Msg
+				resp, r.end, r.err = tc.CallTyped(at, &fwd)
+				if r.err == nil && fwd.TraceID != 0 {
+					if rep, ok := resp.(*Reply); ok {
+						r.hops = rep.Hops
+					}
+				}
 			} else {
-				_, rend, rerr = c.CallV(at, fwdSegs)
+				var payload []byte
+				payload, r.end, r.err = c.CallV(at, fwdSegs)
+				if r.err == nil && fwd.TraceID != 0 {
+					if rep, err := UnmarshalReply(payload); err == nil {
+						// Hop names cross the codec as owned strings, but
+						// the decoded reply as a whole aliases the wire
+						// buffer — copy the hop records out before they
+						// outlive this call.
+						r.hops = append([]telemetry.Hop(nil), rep.Hops...)
+					}
+				}
 			}
-			ch <- repl{end: rend, err: rerr}
+			ch <- r
 		}(conn)
 	}
 	var firstErr error
@@ -306,6 +340,9 @@ func (o *OSD) replicate(at vtime.Time, req *Request, end vtime.Time) (vtime.Time
 			firstErr = r.err
 		}
 		end = vtime.Max(end, r.end)
+		// Ack-arrival order is nondeterministic, but the hop *set* is
+		// deterministic; consumers treat hops as unordered.
+		reply.Hops = append(reply.Hops, r.hops...)
 	}
 	bufpool.Put(fwdHdr)
 	if firstErr != nil {

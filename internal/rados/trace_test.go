@@ -1,0 +1,106 @@
+package rados
+
+// trace_test.go pins wire trace-context propagation: a replicated
+// write's span must carry the transport hops plus a serve hop from the
+// PRIMARY AND EVERY REPLICA and the primary's replication window — on
+// the typed fast path and, crucially, on the byte path, where the hops
+// can only have crossed inside the marshalled reply. Before trace ids
+// rode the request header, replica forwards carried a nil span and the
+// replica serve hops silently vanished from the timeline.
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/vtime"
+)
+
+// hopProfile classifies one finished span's hops.
+type hopProfile struct {
+	msgrReq, msgrResp bool
+	serves            map[string]bool
+	replicates        map[string]bool
+}
+
+func profileOf(rec telemetry.SpanRecord) hopProfile {
+	p := hopProfile{serves: map[string]bool{}, replicates: map[string]bool{}}
+	for i := 0; i < rec.NHops; i++ {
+		switch name := rec.Hops[i].Name; {
+		case name == "msgr:req":
+			p.msgrReq = true
+		case name == "msgr:resp":
+			p.msgrResp = true
+		case strings.HasSuffix(name, ":serve"):
+			p.serves[name] = true
+		case strings.HasSuffix(name, ":replicate"):
+			p.replicates[name] = true
+		}
+	}
+	return p
+}
+
+func TestTraceCompletenessReplicatedWrite(t *testing.T) {
+	telemetry.Ops.SetSampleEvery(1)
+	defer telemetry.Ops.SetSampleEvery(64)
+
+	_, typedCl := newWireCluster(t, 3, 3)
+	_, rawCl := newWireCluster(t, 3, 3)
+	byteCl := byteClient(rawCl)
+
+	for _, tc := range []struct {
+		path string
+		cl   *Client
+		// The typed messenger sees the span and records the transport
+		// hops; the byte codec carries only the trace id, so its spans
+		// hold the OSD-reported hops alone.
+		wantMsgr bool
+	}{
+		{"typed", typedCl, true},
+		{"bytes", byteCl, false},
+	} {
+		t.Run(tc.path, func(t *testing.T) {
+			obj := fmt.Sprintf("trace-%s", tc.path)
+			data := bytes.Repeat([]byte{0x5A}, 4096)
+			if _, _, err := tc.cl.Operate(0, "rbd", obj, SnapContext{}, 0,
+				[]Op{{Kind: OpWrite, Off: 0, Data: data}}); err != nil {
+				t.Fatal(err)
+			}
+
+			var rec telemetry.SpanRecord
+			found := false
+			for _, r := range telemetry.Ops.Recent() {
+				if r.Target == obj {
+					rec, found = r, true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no finished span for %s among %d recent", obj, len(telemetry.Ops.Recent()))
+			}
+
+			p := profileOf(rec)
+			// Replicas=3 on 3 OSDs: the primary and both replicas each
+			// contribute their own per-OSD serve hop, and the primary
+			// reports one replication window.
+			if tc.wantMsgr && (!p.msgrReq || !p.msgrResp) {
+				t.Errorf("transport hops missing: req=%v resp=%v", p.msgrReq, p.msgrResp)
+			}
+			if len(p.serves) != 3 {
+				t.Errorf("span carries %d serve hops %v, want 3 (primary + 2 replicas)", len(p.serves), p.serves)
+			}
+			if len(p.replicates) != 1 {
+				t.Errorf("span carries %d replicate hops %v, want 1", len(p.replicates), p.replicates)
+			}
+			for i := 0; i < rec.NHops; i++ {
+				h := rec.Hops[i]
+				if h.End < h.Start || vtime.Time(h.Start) < rec.Start {
+					t.Errorf("hop %s has incoherent timeline [%d,%d] in span [%d,%d]",
+						h.Name, h.Start, h.End, rec.Start, rec.End)
+				}
+			}
+		})
+	}
+}

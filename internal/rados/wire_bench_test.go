@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/msgr"
 	"repro/internal/simdisk"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -194,6 +195,14 @@ func TestInProcRoundtripAllocBudget(t *testing.T) {
 // times must match exactly, because the typed path charges WireLen — the
 // precise byte-codec size — to the same cost model.
 func TestTypedBytePathParity(t *testing.T) {
+	// The two clients interleave draws from the shared trace sampler; a
+	// sampled op carries serve/replicate hops in its reply (more wire
+	// bytes), so sampling one path's op but not its twin would split the
+	// clocks. Untraced requests are what parity is about — disable
+	// sampling for the duration.
+	telemetry.Ops.SetSampleEvery(1 << 30)
+	defer telemetry.Ops.SetSampleEvery(64)
+
 	_, typedCl := newWireCluster(t, 3, 3)
 	_, rawCl := newWireCluster(t, 3, 3)
 	byteCl := byteClient(rawCl)

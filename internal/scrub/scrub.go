@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rbd"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -122,6 +123,7 @@ func Start(at vtime.Time, img *core.EncryptedImage) (*Scrubber, vtime.Time, erro
 		return nil, at, err
 	}
 	s.publish(at)
+	telemetry.Log.Append(at, telemetry.EventScrubStart, img.Image().Name(), "verify sweep", s.prog.Objects)
 	return s, at, nil
 }
 
@@ -177,6 +179,7 @@ func (s *Scrubber) Step(at vtime.Time) (done bool, end vtime.Time, err error) {
 		at, err = s.clearProgress(at)
 		if err == nil {
 			s.publish(at)
+			telemetry.Log.Append(at, telemetry.EventScrubFinish, s.img.Image().Name(), "findings", s.prog.Found)
 		}
 		return err == nil, at, err
 	}
@@ -206,6 +209,7 @@ func (s *Scrubber) Step(at vtime.Time) (done bool, end vtime.Time, err error) {
 			s.pace.Charge(2 * int64(n) * bs) // replica read + re-seal write
 			s.prog.Repaired += int64(n)
 			s.met.repaired.Add(int64(n))
+			telemetry.Log.Append(at, telemetry.EventRepairDone, s.img.Image().Name(), "blocks re-sealed from replica", int64(n))
 		}
 	}
 	s.prog.NextObj++

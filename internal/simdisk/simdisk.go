@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -126,7 +127,26 @@ type Disk struct {
 	// faults, when armed, injects device-level failures (torn writes,
 	// bit rot, read errors, latency spikes) from a deterministic plan.
 	faults atomic.Pointer[fault.Injector]
+
+	// met, when set, mirrors the device counters into osd-labeled
+	// telemetry series. Nil-safe on every IO path: a standalone disk
+	// (unit tests, bench fixtures) records nothing.
+	met atomic.Pointer[DeviceMetrics]
 }
+
+// DeviceMetrics is the set of pre-resolved telemetry handles a cluster
+// injects so the disk's counters surface as per-OSD device series. The
+// handles are resolved by the owner (rados.NewCluster, once per OSD) —
+// the disk only bumps them.
+type DeviceMetrics struct {
+	ReadOps        *telemetry.Counter
+	WriteOps       *telemetry.Counter
+	SectorsRead    *telemetry.Counter
+	SectorsWritten *telemetry.Counter
+}
+
+// SetMetrics attaches (or, with nil, detaches) the telemetry mirror.
+func (d *Disk) SetMetrics(m *DeviceMetrics) { d.met.Store(m) }
 
 // New creates a disk with the given capacity in sectors.
 func New(name string, sectors int64, cost CostModel) *Disk {
@@ -240,10 +260,10 @@ func (d *Disk) ReadSectors(at vtime.Time, sector, n int64, p []byte) (vtime.Time
 		return at, fmt.Errorf("simdisk: short buffer for %d sectors", n)
 	}
 	in := d.faults.Load()
-	if in.Hit(fault.ReadError) {
+	if in.HitAt(at, fault.ReadError) {
 		return at, fmt.Errorf("%s: read sector %d count %d: %w", d.name, sector, n, fault.ErrReadFault)
 	}
-	rot := n > 0 && in.Hit(fault.BitRot)
+	rot := n > 0 && in.HitAt(at, fault.BitRot)
 	if rot && in.PersistentRot() {
 		// Latent sector corruption: rot the media itself before the copy
 		// below picks it up, so every future read sees the same damage
@@ -269,8 +289,12 @@ func (d *Disk) ReadSectors(at vtime.Time, sector, n int64, p []byte) (vtime.Time
 	}
 	d.readOps.Add(1)
 	d.sectorsRead.Add(n)
+	if m := d.met.Load(); m != nil {
+		m.ReadOps.Inc()
+		m.SectorsRead.Add(n)
+	}
 	end := d.res.Use(at, d.cost.ReadCost.Of(n*SectorSize))
-	if in.Hit(fault.LatencySpike) {
+	if in.HitAt(at, fault.LatencySpike) {
 		end = end.Add(in.Delay())
 	}
 	return end, nil
@@ -291,7 +315,7 @@ func (d *Disk) WriteSectors(at vtime.Time, sector, n int64, p []byte) (vtime.Tim
 	in := d.faults.Load()
 	persist := n
 	var tornErr error
-	if n > 0 && in.Hit(fault.TornWrite) {
+	if n > 0 && in.HitAt(at, fault.TornWrite) {
 		// Power-loss tear: only a prefix of the command reaches media and
 		// the command fails — the caller must treat the range as
 		// undefined until re-written.
@@ -317,11 +341,15 @@ func (d *Disk) WriteSectors(at vtime.Time, sector, n int64, p []byte) (vtime.Tim
 	d.mu.Unlock()
 	d.writeOps.Add(1)
 	d.sectorsWritten.Add(persist)
+	if m := d.met.Load(); m != nil {
+		m.WriteOps.Inc()
+		m.SectorsWritten.Add(persist)
+	}
 	if tornErr != nil {
 		return at, tornErr
 	}
 	end := d.res.Use(at, d.cost.WriteCost.Of(n*SectorSize))
-	if in.Hit(fault.LatencySpike) {
+	if in.HitAt(at, fault.LatencySpike) {
 		end = end.Add(in.Delay())
 	}
 	return end, nil

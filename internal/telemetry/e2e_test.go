@@ -100,8 +100,9 @@ func TestEndToEndObservability(t *testing.T) {
 		`core_seal_ops_total{scheme="xts-rand",layout="omap"}`,
 		`core_read_vtime_count{scheme="xts-rand",layout="object-end"}`,
 		`client_requests_total`,
-		`osd_requests_total{role="primary"}`,
-		`osd_requests_total{role="replica"}`,
+		`osd_requests_total{role="primary",osd="`,
+		`osd_requests_total{role="replica",osd="`,
+		`device_write_ops_total{osd="0"}`,
 		`msgr_calls_total{path="typed"}`,
 		`rekey_blocks_resealed_total{image="e2e-2"}`,
 		`fio_op_vtime_count{op="write"}`,
@@ -112,24 +113,34 @@ func TestEndToEndObservability(t *testing.T) {
 		}
 	}
 
-	// (b) At least one complete span: all four hops, monotone vtime.
-	hops := []string{"msgr:req", "osd:serve", "osd:replicate", "msgr:resp"}
+	// (b) At least one complete replicated-write span: transport hops from
+	// the client's messenger, the primary's serve, every replica's serve
+	// (wire-propagated trace context — the hops crossed the reply), and
+	// the primary's replication fan-out. Replicas=3 on the 3-OSD test
+	// cluster, so a full timeline carries three distinct per-OSD serve
+	// hops.
 	complete := false
 	for _, rec := range telemetry.Ops.Recent() {
 		got := map[string]bool{}
+		serves, replicates := 0, 0
 		for i := 0; i < rec.NHops; i++ {
-			got[rec.Hops[i].Name] = true
+			name := rec.Hops[i].Name
+			if !got[name] {
+				got[name] = true
+				switch {
+				case strings.HasSuffix(name, ":serve"):
+					serves++
+				case strings.HasSuffix(name, ":replicate"):
+					replicates++
+				}
+			}
 		}
-		all := true
-		for _, h := range hops {
-			all = all && got[h]
-		}
-		if all && rec.End >= rec.Start {
+		if got["msgr:req"] && got["msgr:resp"] && serves >= 3 && replicates >= 1 && rec.End >= rec.Start {
 			complete = true
 			break
 		}
 	}
 	if !complete {
-		t.Errorf("no complete trace span with hops %v among %d recent spans", hops, len(telemetry.Ops.Recent()))
+		t.Errorf("no complete replicated-write span (msgr:req/resp + 3 per-OSD serves + replicate) among %d recent spans", len(telemetry.Ops.Recent()))
 	}
 }

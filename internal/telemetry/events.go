@@ -1,0 +1,137 @@
+package telemetry
+
+// events.go is the structured event journal: a fixed ring of lifecycle
+// events (epoch add/retire, rekey/flatten/scrub start-finish, faults
+// fired, repairs done) that the health plane and the rbdctl surfaces
+// read back as a timeline. Appends are the hot-path half — a mutex, a
+// ring-slot store and one pre-resolved counter bump, zero allocations
+// (subject strings are stored by reference, like span hop names) —
+// pinned by TestEventJournalAllocBudget. The ring keeps the newest
+// journalSize events; older ones fall off, but the per-kind
+// events_total counters are monotonic, so rates survive the ring.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// EventKind enumerates the journalled lifecycle events.
+type EventKind uint8
+
+// Event kinds. The order is the events_total label order; keep
+// eventKindNames in sync.
+const (
+	EventEpochAdd EventKind = iota
+	EventEpochRetire
+	EventRekeyStart
+	EventRekeyFinish
+	EventFlattenStart
+	EventFlattenFinish
+	EventScrubStart
+	EventScrubFinish
+	EventFaultFired
+	EventRepairDone
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	"epoch-add", "epoch-retire",
+	"rekey-start", "rekey-finish",
+	"flatten-start", "flatten-finish",
+	"scrub-start", "scrub-finish",
+	"fault-fired", "repair-done",
+}
+
+// String implements fmt.Stringer (the events_total kind label value).
+func (k EventKind) String() string {
+	if k < numEventKinds {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one journalled lifecycle event. Subject names what it
+// happened to (an image, a fault site, an object key); Detail is an
+// optional static qualifier (a fault kind name, a walker phase); Value
+// is a kind-specific count (epoch number, blocks repaired, ...).
+type Event struct {
+	At      vtime.Time
+	Kind    EventKind
+	Subject string
+	Detail  string
+	Value   int64
+}
+
+// String renders the event as one journal line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%12d %-14s %s", int64(e.At), e.Kind, e.Subject)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return fmt.Sprintf("%s value=%d", s, e.Value)
+}
+
+// journalSize is the event ring capacity.
+const journalSize = 256
+
+// Journal is a fixed ring of lifecycle events plus per-kind monotonic
+// counters registered as events_total{kind}.
+type Journal struct {
+	mu     sync.Mutex
+	ring   [journalSize]Event
+	n      int64
+	counts [numEventKinds]*Counter
+}
+
+// NewJournal builds a journal with its per-kind counters registered in
+// reg (family events_total, label kind).
+func NewJournal(reg *Registry) *Journal {
+	j := &Journal{}
+	vec := reg.NewCounterVec("events_total", "lifecycle events journalled, by kind", "kind")
+	for k := EventKind(0); k < numEventKinds; k++ {
+		j.counts[k] = vec.With(k.String())
+	}
+	return j
+}
+
+// Log is the process-wide event journal, registered in Default.
+var Log = NewJournal(Default)
+
+// Append journals one event. Alloc-free: subject/detail should be
+// static or already-retained strings — they are stored by reference.
+func (j *Journal) Append(at vtime.Time, kind EventKind, subject, detail string, value int64) {
+	if j == nil || kind >= numEventKinds {
+		return
+	}
+	j.mu.Lock()
+	j.ring[j.n%journalSize] = Event{At: at, Kind: kind, Subject: subject, Detail: detail, Value: value}
+	j.n++
+	j.mu.Unlock()
+	j.counts[kind].Inc()
+}
+
+// Events returns the journalled events still in the ring, newest first.
+func (j *Journal) Events() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	live := j.n
+	if live > journalSize {
+		live = journalSize
+	}
+	out := make([]Event, 0, live)
+	for i := int64(1); i <= live; i++ {
+		out = append(out, j.ring[(j.n-i)%journalSize])
+	}
+	return out
+}
+
+// Count returns the monotonic total of events journalled with kind k —
+// it keeps counting after the ring has wrapped.
+func (j *Journal) Count(k EventKind) int64 {
+	if k >= numEventKinds {
+		return 0
+	}
+	return j.counts[k].Value()
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// TestEventJournal covers the ring semantics: newest-first readback,
+// per-kind monotonic counters, wraparound, and bad-kind tolerance.
+func TestEventJournal(t *testing.T) {
+	j := NewJournal(NewRegistry())
+
+	j.Append(10, EventEpochAdd, "vol0", "minted", 1)
+	j.Append(20, EventScrubStart, "vol0", "verify sweep", 8)
+	j.Append(30, EventFaultFired, "disk/osd0/nvme0", "bit-rot", 1)
+
+	evs := j.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Kind != EventFaultFired || evs[1].Kind != EventScrubStart || evs[2].Kind != EventEpochAdd {
+		t.Fatalf("events not newest-first: %v", evs)
+	}
+	if evs[0].At != 30 || evs[0].Subject != "disk/osd0/nvme0" || evs[0].Detail != "bit-rot" || evs[0].Value != 1 {
+		t.Fatalf("bad newest event: %+v", evs[0])
+	}
+	if got := j.Count(EventEpochAdd); got != 1 {
+		t.Fatalf("Count(EventEpochAdd) = %d, want 1", got)
+	}
+
+	// Wrap the ring; the counters stay monotonic and the ring keeps the
+	// newest journalSize events.
+	for i := 0; i < journalSize+5; i++ {
+		j.Append(vtime.Time(i), EventRepairDone, "vol0", "", int64(i))
+	}
+	evs = j.Events()
+	if len(evs) != journalSize {
+		t.Fatalf("after wrap got %d events, want %d", len(evs), journalSize)
+	}
+	if evs[0].Value != int64(journalSize+4) {
+		t.Fatalf("newest after wrap has value %d, want %d", evs[0].Value, journalSize+4)
+	}
+	if got := j.Count(EventRepairDone); got != int64(journalSize+5) {
+		t.Fatalf("Count(EventRepairDone) = %d, want %d", got, journalSize+5)
+	}
+
+	// Out-of-range kinds are dropped, not stored.
+	j.Append(0, numEventKinds, "x", "", 0)
+	if len(j.Events()) != journalSize {
+		t.Fatal("out-of-range kind was journalled")
+	}
+
+	// A nil journal is inert (mirrors the nil-safe metric handles).
+	var nilJ *Journal
+	nilJ.Append(0, EventEpochAdd, "x", "", 0)
+
+	if s := evs[0].String(); !strings.Contains(s, "repair-done") || !strings.Contains(s, "vol0") {
+		t.Fatalf("event String missing kind/subject: %q", s)
+	}
+}
+
+// TestEventJournalAllocBudget pins the hot-path contract: journalling an
+// event performs zero heap allocations (subject/detail stored by
+// reference, pre-resolved counters).
+func TestEventJournalAllocBudget(t *testing.T) {
+	j := NewJournal(NewRegistry())
+	if allocs := testing.AllocsPerRun(200, func() {
+		j.Append(42, EventFaultFired, "disk/osd0/nvme0", "torn-write", 1)
+	}); allocs != 0 {
+		t.Fatalf("Journal.Append allocates %v times per op, want 0", allocs)
+	}
+}

@@ -310,6 +310,36 @@ func (r *Registry) family(name, help string, kind Kind, labelKeys ...string) *Fa
 	return f
 }
 
+// Families returns the registered families sorted by name. The slice
+// is a fresh copy; the *Family values are live (families are never
+// removed), so holding one across calls is safe.
+func (r *Registry) Families() []*Family {
+	r.mu.Lock()
+	fams := append([]*Family(nil), r.families...)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// LabelKeys returns a copy of the family's label-key set.
+func (f *Family) LabelKeys() []string { return append([]string(nil), f.labelKeys...) }
+
+// EachSeries calls fn for every labeled series in insertion order with
+// the rendered {k="v",...} suffix ("" for unlabeled) and the series'
+// typed handle — exactly one of c/g/h is non-nil, matching the family
+// kind. The handles are the live atomics: a caller may retain them and
+// read Value()/Snapshot() later without further locking. This is the
+// enumeration hook the history ring uses to pre-resolve its tracked
+// series at Refresh time so Record stays alloc-free.
+func (f *Family) EachSeries(fn func(labels string, c *Counter, g *Gauge, h *Histogram)) {
+	f.mu.Lock()
+	ser := append([]*series(nil), f.order...)
+	f.mu.Unlock()
+	for _, s := range ser {
+		fn(s.labels, s.c, s.g, s.h)
+	}
+}
+
 // FamilyNames returns the registered family names, sorted — the set the
 // METRICS.md contract test compares against.
 func (r *Registry) FamilyNames() []string {

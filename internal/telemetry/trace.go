@@ -22,8 +22,9 @@ import (
 
 const (
 	// MaxHops bounds the per-span hop list (client, msgr both ways, OSD
-	// serve, replicate — with headroom for deeper stacks).
-	MaxHops = 8
+	// serve, per-replica serve hops merged off the wire, replicate —
+	// with headroom for deeper stacks).
+	MaxHops = 12
 	// spanSlots is the live-span pool size; claims beyond it drop the
 	// span rather than allocate or block.
 	spanSlots = 256
@@ -39,15 +40,21 @@ type Hop struct {
 }
 
 // SpanRecord is the finished form of a span, value-copied into the
-// rings so the slot can be reused immediately.
+// rings so the slot can be reused immediately. TraceID is the span's
+// wire identity: it rides the rados request header so remote serve
+// hops (replica OSDs, byte-codec peers) can report their timings back
+// and stitch into this one timeline. IDs are minted from the tracer's
+// deterministic tick — never from host entropy — so replays assign the
+// same ids.
 type SpanRecord struct {
-	Op     string
-	Target string
-	Bytes  int64
-	Start  vtime.Time
-	End    vtime.Time
-	NHops  int
-	Hops   [MaxHops]Hop
+	TraceID uint64
+	Op      string
+	Target  string
+	Bytes   int64
+	Start   vtime.Time
+	End     vtime.Time
+	NHops   int
+	Hops    [MaxHops]Hop
 }
 
 // Duration is the span's virtual wall time.
@@ -143,13 +150,22 @@ func (t *Tracer) Start(op, target string, bytes int64, at vtime.Time) *Span {
 	for i := int64(0); i < 8; i++ {
 		s := &t.slots[uint64(n+i)%spanSlots]
 		if s.busy.CompareAndSwap(false, true) {
-			s.rec = SpanRecord{Op: op, Target: target, Bytes: bytes, Start: at}
+			s.rec = SpanRecord{TraceID: uint64(n), Op: op, Target: target, Bytes: bytes, Start: at}
 			t.started.Inc()
 			return s
 		}
 	}
 	t.dropped.Inc()
 	return nil
+}
+
+// TraceID returns the span's wire identity, or 0 for a nil (unsampled)
+// span — the wire encodes 0 as "untraced".
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.rec.TraceID
 }
 
 // Hop records one layer crossing. Nil-safe; hops beyond MaxHops are

@@ -39,6 +39,7 @@ package repro
 
 import (
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/clone"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/rbd"
 	"repro/internal/scrub"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/health"
 	"repro/internal/vtime"
 )
 
@@ -73,6 +75,8 @@ type (
 	Layout = core.Layout
 	// Time is a virtual timestamp.
 	Time = vtime.Time
+	// Duration is a span of virtual time (health windows, top frames).
+	Duration = vtime.Duration
 	// WorkloadSpec describes an fio-style workload.
 	WorkloadSpec = fio.Spec
 	// WorkloadResult is a workload measurement.
@@ -104,6 +108,17 @@ type (
 	// TraceRecord is one finished per-op trace span (see
 	// internal/telemetry and METRICS.md).
 	TraceRecord = telemetry.SpanRecord
+	// Event is one structured lifecycle event from the process journal
+	// (epoch transitions, walker start/finish, faults, repairs).
+	Event = telemetry.Event
+	// HealthMonitor couples a metric history ring to the declarative
+	// health engine (see internal/telemetry/health and DESIGN.md).
+	HealthMonitor = health.Monitor
+	// HealthReport is one health evaluation: per-rule verdicts plus the
+	// overall status.
+	HealthReport = health.Report
+	// HealthRule is one declarative SLO rule over history windows.
+	HealthRule = health.Rule
 )
 
 // Schemes and layouts.
@@ -280,3 +295,32 @@ func RecentTraces() []TraceRecord { return telemetry.Ops.Recent() }
 // SlowTraces returns the slowest recent spans (those exceeding the
 // tracer's slow-op threshold), newest first.
 func SlowTraces() []TraceRecord { return telemetry.Ops.Slow() }
+
+// Events returns the structured lifecycle events journalled so far,
+// newest first: key-epoch transitions, walker start/finish, fault
+// firings, and replica repairs (see METRICS.md "Event journal").
+func Events() []Event { return telemetry.Log.Events() }
+
+// healthMon is the process-wide health monitor behind Health(), built
+// on first use so programs that never ask for health pay nothing.
+var healthMon = sync.OnceValue(func() *HealthMonitor {
+	return health.NewMonitor(telemetry.Default, 0, nil)
+})
+
+// NewHealthMonitor builds a private monitor over the default registry
+// with the default SLO rule set — for callers that want their own
+// observation cadence (slots <= 0 uses the default ring size).
+func NewHealthMonitor(slots int) *HealthMonitor {
+	return health.NewMonitor(telemetry.Default, slots, nil)
+}
+
+// Observe snapshots every registered metric into the process-wide
+// health monitor's history ring at virtual time at. Call it
+// periodically (each frame, after each workload phase); Health
+// evaluates over the recorded window.
+func Observe(at Time) { healthMon().Observe(at) }
+
+// Health records one more snapshot at virtual time at and evaluates
+// the default SLO rules over the recorded history, returning per-rule
+// verdicts and the overall status.
+func Health(at Time) HealthReport { return healthMon().Report(at) }
