@@ -19,6 +19,13 @@
 // ok:
 //
 //	fiosim -rw randwrite -bs 4 -qd 8 -ops 2000 -chaos-seed 7 -health
+//
+// -attr prints the always-on per-phase latency attribution table plus
+// every captured slow op with its critical path; -trace-every and
+// -slow-thresh tune the tracer's sampling stride and the slow-capture
+// threshold:
+//
+//	fiosim -rw randwrite -bs 4 -qd 32 -ops 5000 -attr -slow-thresh 5ms
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/attr"
 	"repro/internal/telemetry/health"
 	"repro/internal/vtime"
 )
@@ -52,10 +60,20 @@ func main() {
 		trimPct    = flag.Int("trim", 0, "percentage of ops issued as discards")
 		metrics    = flag.Bool("metrics", false, "dump the Prometheus-text telemetry snapshot after the run")
 		traces     = flag.Bool("traces", false, "dump recent and slow per-op trace spans after the run")
+		attrFlag   = flag.Bool("attr", false, "print the per-phase latency attribution table and slow-op critical paths after the run")
+		traceEvery = flag.Int64("trace-every", 0, "trace one in every N ops with a full wire-propagated span (0 = tracer default, 1 = every op)")
+		slowThresh = flag.Duration("slow-thresh", 0, "virtual latency at or past which an op is captured into the slow ring (0 = tracer default)")
 		healthFlag = flag.Bool("health", false, "evaluate the SLO health rules over the run window and print the verdict table")
 		chaosSeed  = flag.Int64("chaos-seed", 0, "arm a deterministic fault plan with this seed (0 = off) and verify every read: correct plaintext or loud error")
 	)
 	flag.Parse()
+
+	if *traceEvery > 0 {
+		telemetry.Ops.SetSampleEvery(*traceEvery)
+	}
+	if *slowThresh > 0 {
+		telemetry.Ops.SetSlowThreshold(vtime.Duration(*slowThresh))
+	}
 
 	pattern, err := fio.ParsePattern(*rw)
 	if err != nil {
@@ -187,6 +205,15 @@ func main() {
 			fmt.Println("slow ops:")
 			for _, rec := range slow {
 				fmt.Printf("  %s\n", rec.String())
+			}
+		}
+	}
+	if *attrFlag {
+		fmt.Printf("\nlatency attribution (100%% of traffic):\n%s", attr.Table())
+		if slow := attr.SlowOps(); len(slow) > 0 {
+			fmt.Printf("slow ops (>= %v), newest first:\n", telemetry.Ops.SlowThreshold())
+			for _, s := range slow {
+				fmt.Print(s.Path)
 			}
 		}
 	}

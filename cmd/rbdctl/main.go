@@ -12,6 +12,7 @@
 //	rbdctl -scheme gcm-auth -layout object-end scrub
 //	rbdctl top
 //	rbdctl health
+//	rbdctl slow
 //	rbdctl events
 //
 // demo creates an encrypted image, writes data, snapshots, overwrites,
@@ -30,8 +31,12 @@
 // dashboard from the history ring (request/device rates, serve p99)
 // with the health verdict under it. health drives the cluster red with
 // an armed fault plan and back to green after disarming, printing the
-// SLO verdict table at each phase. events runs a small lifecycle
-// (rekey, chaos burst, scrub) and dumps the structured event journal.
+// SLO verdict table at each phase. slow spikes one OSD's devices under
+// a replicated write workload, then prints the always-on per-phase
+// latency attribution table and every captured slow op's critical path
+// — naming the straggler OSD and the dominant phase. events runs a
+// small lifecycle (rekey, chaos burst, scrub) and dumps the structured
+// event journal.
 package main
 
 import (
@@ -67,9 +72,9 @@ func main() {
 	flag.Parse()
 	verb := flag.Arg(0)
 	switch verb {
-	case "demo", "rekey", "discard", "clone", "flatten", "status", "scrub", "top", "health", "events":
+	case "demo", "rekey", "discard", "clone", "flatten", "status", "scrub", "top", "health", "slow", "events":
 	default:
-		fmt.Fprintln(os.Stderr, "usage: rbdctl [-scheme S] [-layout L] [-size MB] demo|rekey|discard|clone|flatten|status|scrub|top|health|events")
+		fmt.Fprintln(os.Stderr, "usage: rbdctl [-scheme S] [-layout L] [-size MB] demo|rekey|discard|clone|flatten|status|scrub|top|health|slow|events")
 		os.Exit(2)
 	}
 	scheme, err := core.ParseScheme(*schemeName)
@@ -115,6 +120,8 @@ func main() {
 		top(img)
 	case "health":
 		healthDemo(cluster, img)
+	case "slow":
+		slowDemo(cluster, img)
 	case "events":
 		eventsDemo(cluster, img)
 	}
@@ -243,6 +250,59 @@ func healthDemo(cluster *repro.Cluster, img *repro.EncryptedImage) {
 	}
 	mon.Observe(now)
 	fmt.Printf("\nafter recovery:\n%s\n", mon.Report(now))
+}
+
+// slowDemo is the tail-latency attribution surface: it stretches every
+// device command on one OSD with an injected latency spike, runs a
+// replicated write workload, and prints where the time went — the
+// always-on per-phase attribution table over 100% of traffic, then
+// every captured slow op's critical path with the straggler OSD and
+// dominant phase named.
+func slowDemo(cluster *repro.Cluster, img *repro.EncryptedImage) {
+	span := img.Size()
+	if span > 8<<20 {
+		span = 8 << 20
+	}
+	now, err := fio.Precondition(img, span, 4096, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Spike exactly one OSD so replicated writes have a straggler: the
+	// plan's base config is clean, and only the victim's disks get a
+	// site-specific override.
+	spiked := cluster.OSDs()[len(cluster.OSDs())-1]
+	plan := repro.NewFaultPlan(7, repro.FaultConfig{})
+	for _, st := range spiked.Stores() {
+		st.Disk().SetFaults(plan.InjectorWith("disk/"+st.Disk().Name(), fault.Config{
+			Prob:  map[fault.Kind]float64{fault.LatencySpike: 1},
+			Delay: 30 * time.Millisecond,
+		}))
+	}
+	fmt.Printf("spiking osd%d: every device command on it stretched by 30ms\n", spiked.ID())
+
+	res, err := fio.Run(fio.Spec{Pattern: fio.RandWrite, BlockSize: 4096, QueueDepth: 4,
+		Span: span, TotalOps: 300, Seed: 7}, img, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range spiked.Stores() {
+		st.Disk().SetFaults(nil)
+	}
+	fmt.Printf("workload: %s\n", res)
+
+	fmt.Printf("\nlatency attribution (100%% of traffic):\n%s", repro.Attribution())
+
+	slow := repro.SlowOps()
+	fmt.Printf("\nslow ops captured: %d (threshold %v, every over-threshold op kept)\n",
+		len(slow), time.Duration(telemetry.Ops.SlowThreshold()))
+	for i, s := range slow {
+		if i >= 6 {
+			fmt.Printf("  ... %d more\n", len(slow)-i)
+			break
+		}
+		fmt.Print(s.Path)
+	}
 }
 
 // eventsDemo runs a small lifecycle — an online rekey, a chaos burst,

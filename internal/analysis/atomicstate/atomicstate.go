@@ -25,7 +25,7 @@ var metricStructs = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name:     "atomicstate",
 	Doc:      "telemetry metric structs (Counter, Gauge, Histogram) may hold only sync/atomic state: they are written lock-free from every hot path",
-	Packages: map[string]bool{"telemetry": true, "history": true, "health": true},
+	Packages: map[string]bool{"telemetry": true, "history": true, "health": true, "attr": true},
 	Run:      run,
 }
 

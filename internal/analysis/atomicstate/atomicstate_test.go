@@ -7,5 +7,5 @@ import (
 )
 
 func TestAtomicstate(t *testing.T) {
-	analysistest.Run(t, ".", Analyzer, "telemetry", "history", "other")
+	analysistest.Run(t, ".", Analyzer, "telemetry", "history", "other", "attr")
 }

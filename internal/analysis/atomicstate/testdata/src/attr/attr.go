@@ -1,0 +1,26 @@
+// Package attr seeds atomicstate violations in a package named like
+// the tail-latency attribution plane: attribution is recorded on every
+// op from every hot path concurrently, so a metric struct defined here
+// is held to the same atomic-only rule as the core telemetry types.
+package attr
+
+import "sync/atomic"
+
+// Counter is the clean shape: atomic value plus cache-line padding.
+type Counter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Histogram smuggles a plain overflow tally next to the atomic buckets.
+type Histogram struct {
+	buckets  [28]atomic.Int64
+	overflow int64 // want "metric struct Histogram field overflow is int64"
+}
+
+// report is not a metric struct; analysis-side aggregation works on
+// plain snapshot values and must not be flagged.
+type report struct {
+	count int64
+	sum   int64
+}

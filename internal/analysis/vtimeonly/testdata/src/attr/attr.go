@@ -1,0 +1,30 @@
+// Package attr seeds vtimeonly violations in a package named like the
+// tail-latency attribution plane: phase durations are virtual time
+// charged by the cost model, so sampling the host clock here would mix
+// wall time into the attribution tables and break replay determinism.
+package attr
+
+import (
+	"math/rand"
+	"time"
+)
+
+type phaseRow struct {
+	sum int64
+}
+
+func badPhaseStamp(r *phaseRow) {
+	r.sum += time.Since(time.Unix(0, 0)).Nanoseconds() // want "time.Since reads the host clock"
+}
+
+func badSampleJitter() bool {
+	return rand.Float64() < 0.01 // want "global math/rand.Float64 is process-seeded"
+}
+
+func okObserve(r *phaseRow, d time.Duration) {
+	r.sum += int64(d)
+}
+
+func okSeededJitter(seed int64) bool {
+	return rand.New(rand.NewSource(seed)).Float64() < 0.01
+}

@@ -34,6 +34,7 @@ var simulationPackages = map[string]bool{
 	"scrub":     true,
 	"history":   true,
 	"health":    true,
+	"attr":      true,
 }
 
 // bannedTime are the time functions that sample or schedule against the

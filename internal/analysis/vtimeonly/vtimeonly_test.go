@@ -7,5 +7,5 @@ import (
 )
 
 func TestVtimeonly(t *testing.T) {
-	analysistest.Run(t, ".", Analyzer, "core", "bench", "telemetry", "fault", "scrub", "history", "health")
+	analysistest.Run(t, ".", Analyzer, "core", "bench", "telemetry", "fault", "scrub", "history", "health", "attr")
 }

@@ -33,6 +33,12 @@ var (
 	mGetHit  = mGets.With("hit")
 	mGetMiss = mGets.With("miss")
 	mPuts    = telemetry.NewCounter("bufpool_puts_total", "buffers returned to the pool")
+	// mOutstanding tracks pool-class buffers handed out and not yet
+	// returned — the pool-pressure why-signal. Oversized fallback
+	// buffers are excluded (Put would drop them anyway), so a steady
+	// positive drift means real leaks past Put.
+	mOutstanding = telemetry.NewGauge("bufpool_outstanding",
+		"pool-class buffers checked out and not yet returned")
 )
 
 var classes [numClasses]sync.Pool
@@ -64,9 +70,11 @@ func Get(n int) []byte {
 		b := (*v.(*[]byte))[:n]
 		checkGet(b)
 		mGetHit.Inc()
+		mOutstanding.Add(1)
 		return b
 	}
 	mGetMiss.Inc()
+	mOutstanding.Add(1)
 	return make([]byte, n, 1<<(minShift+c))
 }
 
@@ -91,5 +99,6 @@ func Put(b []byte) {
 	b = b[:cap(b)]
 	checkPut(b)
 	mPuts.Inc()
+	mOutstanding.Add(-1)
 	classes[c].Put(&b)
 }

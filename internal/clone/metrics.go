@@ -19,12 +19,14 @@ var (
 		"blocks copied up from the parent chain into the child", "image")
 	mFlattenDebt = telemetry.NewGaugeVec("flatten_pacer_debt_ns",
 		"flatten pacer debt in virtual nanoseconds (0 = unpaced or inside budget)", "image")
+	mFlattenStall = telemetry.NewGaugeVec("flatten_pacer_stall_ns",
+		"cumulative virtual time the flatten walker spent stalled in pacer admission", "image")
 )
 
 // flattenMetrics is the per-image bundle of resolved series.
 type flattenMetrics struct {
-	done, total, debt *telemetry.Gauge
-	blocks            *telemetry.Counter
+	done, total, debt, stall *telemetry.Gauge
+	blocks                   *telemetry.Counter
 }
 
 // newFlattener binds a walker to its image-labeled progress gauges.
@@ -34,6 +36,7 @@ func newFlattener(img *Image, prog FlattenProgress) *Flattener {
 		done:   mFlattenDone.With(name),
 		total:  mFlattenTotal.With(name),
 		debt:   mFlattenDebt.With(name),
+		stall:  mFlattenStall.With(name),
 		blocks: mFlattenBlocks.With(name),
 	}}
 }
@@ -44,4 +47,5 @@ func (f *Flattener) publish(at vtime.Time) {
 	f.met.done.Set(f.prog.NextObj)
 	f.met.total.Set(f.prog.Objects)
 	f.met.debt.SetDuration(f.pace.Debt(at))
+	f.met.stall.SetDuration(f.pace.Stall())
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/attr"
 	"repro/internal/vtime"
 )
 
@@ -402,7 +403,9 @@ func (e *EncryptedImage) writeAtEpoch(at vtime.Time, p []byte, off int64) (vtime
 		return at, err
 	}
 
-	at = e.chargeCrypto(at, int64(len(p)))
+	sealed := e.chargeCrypto(at, int64(len(p)))
+	attr.Observe(attr.OpWrite, attr.PhaseSeal, sealed.Sub(at))
+	at = sealed
 
 	// Fan out per-object transactions. The transport fully consumes the
 	// plan buffers before Operate returns — the typed in-process path
@@ -614,7 +617,9 @@ func (e *EncryptedImage) readAtSnapOnce(at vtime.Time, p []byte, off int64, snap
 	if err != nil {
 		return at, err
 	}
-	return e.chargeCrypto(end, int64(len(p))), nil
+	opened := e.chargeCrypto(end, int64(len(p)))
+	attr.Observe(attr.OpRead, attr.PhaseOpen, opened.Sub(end))
+	return opened, nil
 }
 
 // ---- allocation sidecar cache (metadata-free schemes) ----

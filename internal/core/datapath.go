@@ -87,7 +87,10 @@ func dpStart() {
 	for i := 0; i < n; i++ {
 		go func() {
 			for job := range dpJobs {
+				mDPQueue.Add(-1)
+				mDPBusy.Add(1)
 				job.res.set(job.run(job.lo, job.hi))
+				mDPBusy.Add(-1)
 				job.wg.Done()
 			}
 		}()
@@ -119,9 +122,15 @@ func forBlocks(workers int, n int64, fn func(lo, hi int64) error) error {
 	for lo = 0; lo+chunk < n; lo += chunk {
 		job := blockJob{lo: lo, hi: lo + chunk, run: fn, wg: &wg, res: &res}
 		wg.Add(1)
+		mDPQueue.Add(1)
 		select {
 		case dpJobs <- job:
 		default:
+			// Queue full: the pool is saturated and this chunk degrades to
+			// inline execution — the backpressure event the
+			// datapath-queue-saturation health rule counts.
+			mDPQueue.Add(-1)
+			mDPInline.Inc()
 			res.set(fn(job.lo, job.hi))
 			wg.Done()
 		}

@@ -20,6 +20,16 @@ var (
 		"virtual time of one encrypted WriteAt (seal + commit + replication)", "scheme", "layout")
 	mReadLat = telemetry.NewHistogramVec("core_read_vtime",
 		"virtual time of one encrypted read (fetch + open)", "scheme", "layout")
+
+	// Datapath worker-pool why-signals: utilization and backpressure for
+	// the shared seal/open pool (datapath.go), so a saturated pool shows
+	// up as a cause, not just as tail latency.
+	mDPBusy = telemetry.NewGauge("core_dp_workers_busy",
+		"datapath pool workers currently executing a chunk")
+	mDPQueue = telemetry.NewGauge("core_dp_queue_depth",
+		"datapath chunks queued to the shared pool and not yet picked up")
+	mDPInline = telemetry.NewCounter("core_dp_inline_total",
+		"datapath chunks executed inline because the pool queue was full (saturation signal)")
 )
 
 // imageMetrics is the per-image bundle of resolved series.

@@ -20,12 +20,14 @@ var (
 		"blocks re-sealed under the target epoch", "image")
 	mRekeyDebt = telemetry.NewGaugeVec("rekey_pacer_debt_ns",
 		"rekey pacer debt in virtual nanoseconds (0 = unpaced or inside budget)", "image")
+	mRekeyStall = telemetry.NewGaugeVec("rekey_pacer_stall_ns",
+		"cumulative virtual time the rekey walker spent stalled in pacer admission", "image")
 )
 
 // walkerMetrics is the per-image bundle of resolved series.
 type walkerMetrics struct {
-	done, total, debt *telemetry.Gauge
-	blocks            *telemetry.Counter
+	done, total, debt, stall *telemetry.Gauge
+	blocks                   *telemetry.Counter
 }
 
 func newWalkerMetrics(image string) walkerMetrics {
@@ -33,6 +35,7 @@ func newWalkerMetrics(image string) walkerMetrics {
 		done:   mRekeyDone.With(image),
 		total:  mRekeyTotal.With(image),
 		debt:   mRekeyDebt.With(image),
+		stall:  mRekeyStall.With(image),
 		blocks: mRekeyBlocks.With(image),
 	}
 }
@@ -43,4 +46,5 @@ func (r *Rekeyer) publish(at vtime.Time) {
 	r.met.done.Set(r.prog.NextObj)
 	r.met.total.Set(r.prog.Objects)
 	r.met.debt.SetDuration(r.pace.Debt(at))
+	r.met.stall.SetDuration(r.pace.Stall())
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/attr"
 	"repro/internal/vtime"
 )
 
@@ -33,6 +34,11 @@ var (
 	mCallsBytes = mCallsVec.With("bytes")
 	mBytesTyped = mBytesVec.With("typed")
 	mBytesBytes = mBytesVec.With("bytes")
+	// mOutstanding is the why-signal for wire backpressure: round trips
+	// currently in flight across all connections (health's
+	// msgr-outstanding-high rule watches it).
+	mOutstanding = telemetry.NewGauge("msgr_outstanding_requests",
+		"messenger round trips currently in flight")
 )
 
 // Handler services one request. The at argument is the request's virtual
@@ -83,6 +89,14 @@ type TypedConn interface {
 // wire untraced. A nil span from a carrier is fine — every span method
 // is nil-safe.
 type SpanCarrier interface{ TraceSpan() *telemetry.Span }
+
+// AttrCarrier is implemented by typed messages that know their
+// attribution class (rados.Request). The transport attributes the
+// message's wire transit time to that class's wire phase; byte-codec
+// calls carry no class and attribute to "other" — a documented
+// compromise, since the byte form is the compatibility oracle, not the
+// hot path.
+type AttrCarrier interface{ AttrOp() int }
 
 // ErrClosed reports use of a closed connection.
 var ErrClosed = errors.New("msgr: connection closed")
@@ -265,6 +279,8 @@ func (c *inProcConn) Call(at vtime.Time, req []byte) ([]byte, vtime.Time, error)
 		return nil, at, err
 	}
 	mCallsBytes.Inc()
+	mOutstanding.Add(1)
+	defer mOutstanding.Add(-1)
 	arrive := c.reqCost.transmit(at, c.reqLink, len(req))
 	if err := c.srv.injectBefore(arrive); err != nil {
 		return nil, arrive, err
@@ -283,6 +299,7 @@ func (c *inProcConn) Call(at vtime.Time, req []byte) ([]byte, vtime.Time, error)
 		end = c.respCost.transmit(end, c.respLink, len(resp))
 	}
 	mBytesBytes.Add(int64(len(req) + len(resp)))
+	attr.Observe(attr.OpOther, attr.PhaseWire, arrive.Sub(at)+end.Sub(done))
 	return resp, end, nil
 }
 
@@ -308,9 +325,15 @@ func (c *inProcTypedConn) CallTyped(at vtime.Time, req Msg) (Msg, vtime.Time, er
 		return nil, at, err
 	}
 	mCallsTyped.Inc()
+	mOutstanding.Add(1)
+	defer mOutstanding.Add(-1)
 	var sp *telemetry.Span
 	if carrier, ok := req.(SpanCarrier); ok {
 		sp = carrier.TraceSpan()
+	}
+	cls := attr.OpOther
+	if carrier, ok := req.(AttrCarrier); ok {
+		cls = carrier.AttrOp()
 	}
 	reqLen := req.WireLen()
 	arrive := c.reqCost.transmit(at, c.reqLink, reqLen)
@@ -333,6 +356,7 @@ func (c *inProcTypedConn) CallTyped(at vtime.Time, req Msg) (Msg, vtime.Time, er
 	}
 	sp.Hop("msgr:resp", done, end)
 	mBytesTyped.Add(int64(reqLen + resp.WireLen()))
+	attr.Observe(cls, attr.PhaseWire, arrive.Sub(at)+end.Sub(done))
 	return resp, end, nil
 }
 

@@ -204,6 +204,8 @@ func (c *TCPConn) Call(at vtime.Time, req []byte) ([]byte, vtime.Time, error) {
 // with one vectored socket write; no joined copy is ever built.
 func (c *TCPConn) CallV(at vtime.Time, segs [][]byte) ([]byte, vtime.Time, error) {
 	mCallsBytes.Inc()
+	mOutstanding.Add(1)
+	defer mOutstanding.Add(-1)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bufpool"
 	"repro/internal/msgr"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/attr"
 	"repro/internal/vtime"
 )
 
@@ -80,16 +81,18 @@ func (c *Client) operate(at vtime.Time, osd int, pool, object string, snapc Snap
 	}
 	mClientRequests.Inc()
 	mClientBytes.Add(countOps(ops, &mClientOps))
+	cls := attrClassOf(ops)
 	sp := telemetry.Ops.Start(ops[0].Kind.String(), object, int64(len(ops[0].Data))+ops[0].Len, at)
 	req := &Request{
-		Pool:    pool,
-		Object:  object,
-		SnapID:  snapID,
-		SnapSeq: snapc.Seq,
-		TraceID: sp.TraceID(), // 0 when unsampled — "untraced" on the wire
-		Ops:     ops,
-		Replica: replica,
-		Span:    sp,
+		Pool:      pool,
+		Object:    object,
+		SnapID:    snapID,
+		SnapSeq:   snapc.Seq,
+		TraceID:   sp.TraceID(), // 0 when unsampled — "untraced" on the wire
+		Ops:       ops,
+		Replica:   replica,
+		Span:      sp,
+		AttrClass: cls,
 	}
 
 	if tc, ok := conn.(msgr.TypedConn); ok {
@@ -112,10 +115,16 @@ func (c *Client) operate(at vtime.Time, osd int, pool, object string, snapc Snap
 		}
 		mergeWireHops(sp, reply.Hops)
 		mClientLat.Observe(end.Sub(at))
+		attr.ObserveOp(cls, end.Sub(at))
 		sp.Finish(end)
 		return reply.Results, end, nil
 	}
 
+	// Marshal phase: the byte codec is vtime-free in the cost model (the
+	// scatter-gather encode copies no payloads), so the observation
+	// records the crossing with zero duration — the attribution table
+	// shows the phase exists and costs nothing, rather than omitting it.
+	attr.Observe(cls, attr.PhaseMarshal, 0)
 	segs, hdr := req.MarshalV(bufpool.Get(wireHdrHint))
 	respPayload, end, err := conn.CallV(at, segs)
 	bufpool.Put(hdr)
@@ -139,8 +148,28 @@ func (c *Client) operate(at vtime.Time, osd int, pool, object string, snapc Snap
 	}
 	mergeWireHops(sp, reply.Hops)
 	mClientLat.Observe(end.Sub(at))
+	attr.ObserveOp(cls, end.Sub(at))
 	sp.Finish(end)
 	return reply.Results, end, nil
+}
+
+// attrClassOf buckets a request's op vector into an attribution class:
+// any mutating op makes it a write, else any data read makes it a read,
+// else it is metadata/other traffic.
+func attrClassOf(ops []Op) int {
+	hasRead := false
+	for _, op := range ops {
+		if op.Kind.Mutates() {
+			return attr.OpWrite
+		}
+		if op.Kind == OpRead {
+			hasRead = true
+		}
+	}
+	if hasRead {
+		return attr.OpRead
+	}
+	return attr.OpOther
 }
 
 // mergeWireHops stitches the server-reported trace hops (OSD serve,

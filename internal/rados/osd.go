@@ -13,6 +13,7 @@ import (
 	"repro/internal/msgr"
 	"repro/internal/simdisk"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/attr"
 	"repro/internal/vtime"
 )
 
@@ -203,7 +204,7 @@ func (o *OSD) serve(at vtime.Time, req *Request) (*Reply, vtime.Time, error) {
 
 	// CPU admission cost.
 	var bytes int64
-	mutating := false
+	mutating, hasRead := false, false
 	for _, op := range req.Ops {
 		bytes += int64(len(op.Data))
 		for _, p := range op.Pairs {
@@ -211,11 +212,27 @@ func (o *OSD) serve(at vtime.Time, req *Request) (*Reply, vtime.Time, error) {
 		}
 		if op.Kind.Mutates() {
 			mutating = true
+		} else if op.Kind == OpRead {
+			hasRead = true
 		}
+	}
+	cls := attr.OpOther
+	if mutating {
+		cls = attr.OpWrite
+	} else if hasRead {
+		cls = attr.OpRead
 	}
 	cpuTime := o.cost.PerRequest + time.Duration(len(req.Ops))*o.cost.PerOp +
 		time.Duration(float64(bytes)*o.cost.PerByte)
-	at = o.cpu.Use(at, cpuTime)
+	admitted := o.cpu.Use(at, cpuTime)
+	// Queue phase: time lost waiting for a CPU core, excluding the work
+	// itself. Observed per serve, replicas included.
+	queued := admitted.Sub(at) - cpuTime
+	if queued < 0 {
+		queued = 0
+	}
+	attr.Observe(cls, attr.PhaseQueue, queued)
+	at = admitted
 
 	fullName := req.Pool + "/" + req.Object
 	lock := o.lockFor(fullName)
@@ -227,16 +244,13 @@ func (o *OSD) serve(at vtime.Time, req *Request) (*Reply, vtime.Time, error) {
 		return nil, at, err
 	}
 	reply := &Reply{Results: results}
-	// Traced requests report their serve timing in the reply rather
-	// than on a local span: the hop list rides the wire back, so the
-	// client (and, for replica forwards, the primary) merges every
-	// remote hop into the one client-side timeline — including across
-	// the byte codec, where no span pointer can travel.
-	if req.TraceID != 0 {
-		reply.Hops = append(reply.Hops, telemetry.Hop{Name: m.serveHop, Start: entry, End: localEnd})
-	}
+	// Serve phase: CPU work plus local execution, queue delay excluded
+	// so the phases partition the local time. Each replica copy's serve
+	// is observed on its own OSD.
+	attr.Observe(cls, attr.PhaseServe, localEnd.Sub(entry)-queued)
 
 	end := localEnd
+	replicated := false
 	if mutating && !req.Replica {
 		end, err = o.replicate(at, req, end, reply)
 		if err != nil {
@@ -247,7 +261,22 @@ func (o *OSD) serve(at vtime.Time, req *Request) (*Reply, vtime.Time, error) {
 		// with the local commit; its hop spans forward to slowest ack.
 		m.replications.Inc()
 		m.replLat.Observe(end.Sub(at))
-		if req.TraceID != 0 {
+		attr.Observe(cls, attr.PhaseReplicate, end.Sub(at))
+		replicated = true
+	}
+	// Hop reporting rides the reply rather than a local span: the hop
+	// list travels the wire back, so the client (and, for replica
+	// forwards, the primary) merges every remote hop into the one
+	// client-side timeline — including across the byte codec, where no
+	// span pointer can travel. Traced requests always answer with their
+	// timing; untraced ones self-promote when the serve crossed the
+	// slow-op threshold, so a latency-spiked replica reports its serve
+	// hop even mid-stride and the tail is captured 100% of the time.
+	// The promotion reads the shared tracer threshold, so it fires
+	// identically on both wire forms.
+	if req.TraceID != 0 || end.Sub(entry) >= telemetry.Ops.SlowThreshold() {
+		reply.Hops = append(reply.Hops, telemetry.Hop{Name: m.serveHop, Start: entry, End: localEnd})
+		if replicated {
 			reply.Hops = append(reply.Hops, telemetry.Hop{Name: m.replHop, Start: at, End: end})
 		}
 	}
@@ -309,10 +338,14 @@ func (o *OSD) replicate(at vtime.Time, req *Request, end vtime.Time, reply *Repl
 	for _, conn := range conns {
 		go func(c msgr.Conn) {
 			var r repl
+			// Hops are harvested from every ack, traced or not: an
+			// untraced replica whose serve crossed the slow threshold
+			// self-promotes its serve hop, and dropping it here would
+			// blind the tail capture to the straggler.
 			if tc, ok := c.(msgr.TypedConn); ok {
 				var resp msgr.Msg
 				resp, r.end, r.err = tc.CallTyped(at, &fwd)
-				if r.err == nil && fwd.TraceID != 0 {
+				if r.err == nil {
 					if rep, ok := resp.(*Reply); ok {
 						r.hops = rep.Hops
 					}
@@ -320,14 +353,12 @@ func (o *OSD) replicate(at vtime.Time, req *Request, end vtime.Time, reply *Repl
 			} else {
 				var payload []byte
 				payload, r.end, r.err = c.CallV(at, fwdSegs)
-				if r.err == nil && fwd.TraceID != 0 {
-					if rep, err := UnmarshalReply(payload); err == nil {
-						// Hop names cross the codec as owned strings, but
-						// the decoded reply as a whole aliases the wire
-						// buffer — copy the hop records out before they
-						// outlive this call.
-						r.hops = append([]telemetry.Hop(nil), rep.Hops...)
-					}
+				if r.err == nil {
+					// Hops-only decode: skips the results without
+					// allocating and returns owned hop records (names are
+					// string copies), so the common no-hops ack costs a
+					// scan and nothing else.
+					r.hops = replyWireHops(payload)
 				}
 			}
 			ch <- r

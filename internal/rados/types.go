@@ -195,18 +195,32 @@ type Request struct {
 	// the forwarding primary) merges those back into the span — so
 	// replica serves and byte-codec crossings stitch into one timeline.
 	Span *telemetry.Span
+
+	// AttrClass is the request's attribution class (an attr op index),
+	// precomputed by the client so the transport can attribute wire time
+	// without rescanning the op vector. Client-local plumbing like Span:
+	// never marshaled, absent from WireLen, and preserved by the
+	// replication fan-out's struct copy.
+	AttrClass int
 }
 
 // TraceSpan exposes the request's span through msgr.SpanCarrier, so the
 // transport can record its hops without importing this package.
 func (r *Request) TraceSpan() *telemetry.Span { return r.Span }
 
-// Reply carries one Result per request op, plus — for traced requests
-// only — the server-side trace hops (the OSD's serve timing and, on a
-// primary's reply, the merged replica hops and the replication
-// fan-out). Hops is empty on untraced requests, so tracing costs wire
-// bytes only on sampled ops; both wire forms carry it identically, so
-// WireLen stays a pure function of message content.
+// AttrOp exposes the request's attribution class through
+// msgr.AttrCarrier, so the transport can feed the wire phase of the
+// always-on attribution histograms without importing this package.
+func (r *Request) AttrOp() int { return r.AttrClass }
+
+// Reply carries one Result per request op, plus the server-side trace
+// hops (the OSD's serve timing and, on a primary's reply, the merged
+// replica hops and the replication fan-out). Hops is empty on untraced
+// requests unless the serve crossed the slow-op threshold — OSDs
+// self-promote over-threshold serves so the tail is always captured —
+// so tracing costs wire bytes only on sampled or slow ops; both wire
+// forms carry it identically, so WireLen stays a pure function of
+// message content.
 type Reply struct {
 	Results []Result
 	Hops    []telemetry.Hop
@@ -575,4 +589,68 @@ func UnmarshalReply(b []byte) (*Reply, error) {
 		return nil, ErrWire
 	}
 	return p, r.err
+}
+
+// skipBytes advances past one length-prefixed field without aliasing it.
+func (r *wireReader) skipBytes() {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return
+	}
+	r.off += n
+}
+
+// skipPairs advances past an encoded pair vector.
+func (r *wireReader) skipPairs() {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > (len(r.buf)-r.off)/8 {
+		r.fail()
+		return
+	}
+	for i := 0; i < n; i++ {
+		r.skipBytes()
+		r.skipBytes()
+	}
+}
+
+// replyWireHops decodes only the trace-hop vector of an encoded reply,
+// skipping the results without allocating. The replication ack path
+// uses it to harvest promoted hops off every byte-codec reply: with no
+// hops present (the common, untraced-and-fast case) it costs a linear
+// scan and zero allocations. Malformed input yields nil — the caller
+// only wanted hops, and the full decode path still validates replies
+// that matter.
+func replyWireHops(b []byte) []telemetry.Hop {
+	r := &wireReader{buf: b}
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > (len(b)-r.off)/20 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		r.u32() // status
+		r.u64() // size
+		r.skipBytes()
+		r.skipPairs()
+		if r.err != nil {
+			return nil
+		}
+	}
+	nh := int(r.u32())
+	if r.err != nil || nh <= 0 || nh > (len(b)-r.off)/20 {
+		return nil
+	}
+	hops := make([]telemetry.Hop, 0, nh)
+	for i := 0; i < nh; i++ {
+		h := telemetry.Hop{
+			Name:  r.str(), // owned copy; never aliases b
+			Start: vtime.Time(r.i64()),
+			End:   vtime.Time(r.i64()),
+		}
+		if r.err != nil {
+			return nil
+		}
+		hops = append(hops, h)
+	}
+	return hops
 }

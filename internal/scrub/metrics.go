@@ -23,12 +23,14 @@ var (
 		"bad blocks recovered from an intact replica and re-sealed", "image")
 	mScrubDebt = telemetry.NewGaugeVec("scrub_pacer_debt_ns",
 		"scrub pacer debt in virtual nanoseconds (0 = unpaced or inside budget)", "image")
+	mScrubStall = telemetry.NewGaugeVec("scrub_pacer_stall_ns",
+		"cumulative virtual time the scrub walker spent stalled in pacer admission", "image")
 )
 
 // walkerMetrics is the per-image bundle of resolved series.
 type walkerMetrics struct {
-	done, total, debt       *telemetry.Gauge
-	blocks, found, repaired *telemetry.Counter
+	done, total, debt, stall *telemetry.Gauge
+	blocks, found, repaired  *telemetry.Counter
 }
 
 func newWalkerMetrics(image string) walkerMetrics {
@@ -36,6 +38,7 @@ func newWalkerMetrics(image string) walkerMetrics {
 		done:     mScrubDone.With(image),
 		total:    mScrubTotal.With(image),
 		debt:     mScrubDebt.With(image),
+		stall:    mScrubStall.With(image),
 		blocks:   mScrubBlocks.With(image),
 		found:    mScrubFound.With(image),
 		repaired: mScrubRepaired.With(image),
@@ -48,4 +51,5 @@ func (s *Scrubber) publish(at vtime.Time) {
 	s.met.done.Set(s.prog.NextObj)
 	s.met.total.Set(s.prog.Objects)
 	s.met.debt.SetDuration(s.pace.Debt(at))
+	s.met.stall.SetDuration(s.pace.Stall())
 }

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/attr"
 	"repro/internal/vtime"
 )
 
@@ -297,6 +298,9 @@ func (d *Disk) ReadSectors(at vtime.Time, sector, n int64, p []byte) (vtime.Time
 	if in.HitAt(at, fault.LatencySpike) {
 		end = end.Add(in.Delay())
 	}
+	// Device phase includes injected spikes: a sick disk is precisely
+	// what the attribution table should surface.
+	attr.Observe(attr.OpRead, attr.PhaseDevice, end.Sub(at))
 	return end, nil
 }
 
@@ -352,6 +356,7 @@ func (d *Disk) WriteSectors(at vtime.Time, sector, n int64, p []byte) (vtime.Tim
 	if in.HitAt(at, fault.LatencySpike) {
 		end = end.Add(in.Delay())
 	}
+	attr.Observe(attr.OpWrite, attr.PhaseDevice, end.Sub(at))
 	return end, nil
 }
 

@@ -265,6 +265,16 @@ func DefaultRules(w vtime.Duration) []Rule {
 		// partitioned.
 		{Name: "osd-silence", Kind: SilentWhile, Family: "osd_serve_vtime",
 			Baseline: "client_requests_total", Window: w, Threshold: 0, Severity: Critical},
+		// Why-signals from the attribution plane. Sustained datapath
+		// pool saturation: chunks degrading to inline execution because
+		// the queue is full (core_dp_inline_total counts them).
+		{Name: "datapath-queue-saturation", Kind: RateAbove, Family: "core_dp_inline_total",
+			Window: w, Threshold: 100, Severity: Degraded},
+		// Wire backpressure: an outsized in-flight request population
+		// means the cluster is absorbing far more concurrency than the
+		// simulated hardware can drain.
+		{Name: "msgr-outstanding-high", Kind: GaugeAbove, Family: "msgr_outstanding_requests",
+			Threshold: 4096, Severity: Degraded},
 	}
 }
 

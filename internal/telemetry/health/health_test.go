@@ -23,7 +23,9 @@ type ruleSet struct {
 	faults *telemetry.Counter
 	bad    *telemetry.Counter
 	rep    *telemetry.Counter
+	inline *telemetry.Counter
 	debt   *telemetry.Gauge
+	outst  *telemetry.Gauge
 	lat    *telemetry.Histogram
 	serve0 *telemetry.Histogram
 	serve1 *telemetry.Histogram
@@ -38,7 +40,9 @@ func newRuleSet() *ruleSet {
 		faults: reg.NewCounter("fault_injections_total", "test"),
 		bad:    reg.NewCounter("scrub_blocks_bad_total", "test"),
 		rep:    reg.NewCounter("scrub_blocks_repaired_total", "test"),
+		inline: reg.NewCounter("core_dp_inline_total", "test"),
 		debt:   reg.NewGauge("rekey_pacer_debt_ns", "test"),
+		outst:  reg.NewGauge("msgr_outstanding_requests", "test"),
 		lat:    reg.NewHistogram("fio_op_vtime", "test"),
 	}
 	sv := reg.NewHistogramVec("osd_serve_vtime", "test", "osd")
@@ -70,13 +74,15 @@ func TestDefaultRulesFire(t *testing.T) {
 	}
 
 	// One bad 100 ms window: errors, faults, slow ops, stuck pacer debt,
-	// unrepaired scrub findings, and osd 1 silent while clients are
-	// active.
+	// unrepaired scrub findings, a saturated datapath queue, wire
+	// backpressure, and osd 1 silent while clients are active.
 	s.reqs.Add(100)
 	s.errs.Add(50)
 	s.faults.Add(20)
 	s.bad.Add(3)
+	s.inline.Add(50) // 500/s over the 100 ms window, ceiling is 100/s
 	s.debt.Set(200 * 1e6)
+	s.outst.Set(5000) // ceiling is 4096 in flight
 	for i := 0; i < 100; i++ {
 		s.lat.Observe(30 * ms) // p99 ceiling is 20 ms
 		s.serve0.Observe(1 * ms)
@@ -97,6 +103,8 @@ func TestDefaultRulesFire(t *testing.T) {
 		{"scrub-findings-outstanding", Critical},
 		{"rekey-pacer-debt-growth", Degraded},
 		{"osd-silence", Critical},
+		{"datapath-queue-saturation", Degraded},
+		{"msgr-outstanding-high", Degraded},
 	} {
 		v := verdictOf(rep, want.rule)
 		if !v.Firing || v.Severity != want.severity {
@@ -112,10 +120,12 @@ func TestDefaultRulesFire(t *testing.T) {
 	}
 
 	// Clear the causes over the next window: repairs catch up, debt
-	// drains, both OSDs serve, ops run fast, no new errors or faults.
+	// drains, the datapath queue and wire drain, both OSDs serve, ops
+	// run fast, no new errors or faults.
 	s.reqs.Add(100)
 	s.rep.Add(3)
 	s.debt.Set(0)
+	s.outst.Set(0)
 	for i := 0; i < 100; i++ {
 		s.lat.Observe(1 * ms)
 		s.serve0.Observe(1 * ms)

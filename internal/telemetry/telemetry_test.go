@@ -176,9 +176,15 @@ func TestTracerRingsAndSlowLog(t *testing.T) {
 	if len(recent) != recentSpans {
 		t.Fatalf("recent ring has %d, want %d", len(recent), recentSpans)
 	}
-	// Newest first: the last finished span leads.
-	if recent[0].Start != vtime.Time(recentSpans+4) {
-		t.Fatalf("recent[0].Start = %d, want %d", recent[0].Start, recentSpans+4)
+	// Newest span end first: the slow span at i=60 ends at 1060, after
+	// every plain 100ns span — it leads despite being claimed earlier.
+	if recent[0].Start != vtime.Time(60) {
+		t.Fatalf("recent[0].Start = %d, want 60 (latest End leads)", recent[0].Start)
+	}
+	for i := 1; i < len(recent); i++ {
+		if recent[i].End > recent[i-1].End {
+			t.Fatalf("recent not sorted by End desc at %d: %d after %d", i, recent[i].End, recent[i-1].End)
+		}
 	}
 	slow := tr.Slow()
 	if len(slow) == 0 {
@@ -199,13 +205,26 @@ func TestTracerSampling(t *testing.T) {
 	tr := NewTracer(reg, 4, 1e9)
 	sampled := 0
 	for i := 0; i < 100; i++ {
-		if sp := tr.Start("op", "t", 0, 0); sp != nil {
-			sampled++
-			sp.Finish(1)
+		sp := tr.Start("op", "t", 0, 0)
+		if sp == nil {
+			t.Fatal("every op claims a span; nil means pool exhaustion")
 		}
+		if sp.Sampled() {
+			if sp.TraceID() == 0 {
+				t.Fatal("sampled span without a wire trace id")
+			}
+			sampled++
+		} else if sp.TraceID() != 0 {
+			t.Fatal("unsampled span must stay wire-invisible (TraceID 0)")
+		}
+		sp.Finish(1)
 	}
 	if sampled != 25 {
 		t.Fatalf("sampled %d of 100 at every=4", sampled)
+	}
+	// Fast unsampled spans take neither ring.
+	if got := len(tr.Recent()); got != 25 {
+		t.Fatalf("recent ring has %d, want 25 sampled", got)
 	}
 }
 

@@ -4,15 +4,21 @@ package telemetry
 // started at the client (rados.Client.Operate), rides the typed request
 // through the msgr dispatch, the OSD serve path and primary-copy
 // replication, and records one (name, vtime start, vtime end) hop per
-// layer. Spans are sampled (every Nth op by default) and drawn from a
-// fixed slot pool, so the hot path never allocates; finished spans land
-// in a ring of recent traces plus a slow-op log for spans exceeding a
-// virtual-time threshold. All Span methods are nil-safe: an unsampled
-// op carries a nil span and every recording call is a no-op, which
-// keeps the instrumentation branch-free at the call sites.
+// layer. Every op claims a span slot from a fixed pool (zero-alloc),
+// but only every Nth op is *sampled* — given a wire trace id and
+// recorded into the recent-trace ring. Unsampled spans exist for tail
+// capture: any span whose duration crosses the slow threshold is
+// promoted into the slow-op log regardless of sampling, so slow ops can
+// never fall between sampling strides; OSDs promote their own hops onto
+// untraced replies by the same threshold (rados osd.go), giving
+// promoted spans a full phase breakdown. All Span methods are nil-safe:
+// when the pool is exhausted an op carries a nil span and every
+// recording call is a no-op, which keeps the instrumentation
+// branch-free at the call sites.
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -53,6 +59,7 @@ type SpanRecord struct {
 	Bytes   int64
 	Start   vtime.Time
 	End     vtime.Time
+	Sampled bool // chosen by the every-Nth stream (TraceID != 0)
 	NHops   int
 	Hops    [MaxHops]Hop
 }
@@ -105,10 +112,10 @@ type Tracer struct {
 // accounting registered in reg.
 func NewTracer(reg *Registry, every int64, slowThresh vtime.Duration) *Tracer {
 	t := &Tracer{
-		started:  reg.NewCounter("trace_spans_started_total", "trace spans started (sampled ops)"),
-		finished: reg.NewCounter("trace_spans_finished_total", "trace spans finished and recorded"),
-		slowOps:  reg.NewCounter("trace_spans_slow_total", "finished spans at or above the slow-op threshold"),
-		dropped:  reg.NewCounter("trace_spans_dropped_total", "sampled ops dropped because the span pool was exhausted"),
+		started:  reg.NewCounter("trace_spans_started_total", "trace spans started (every op claims a slot)"),
+		finished: reg.NewCounter("trace_spans_finished_total", "trace spans finished"),
+		slowOps:  reg.NewCounter("trace_spans_slow_total", "finished spans at or above the slow-op threshold (all captured, sampled or not)"),
+		dropped:  reg.NewCounter("trace_spans_dropped_total", "ops dropped because the span pool was exhausted"),
 	}
 	t.every.Store(every)
 	t.slowThresh.Store(int64(slowThresh))
@@ -134,23 +141,38 @@ func (t *Tracer) SetSampleEvery(n int64) {
 // spans are retained in the slow-op log.
 func (t *Tracer) SetSlowThreshold(d vtime.Duration) { t.slowThresh.Store(int64(d)) }
 
-// Start begins a span for one op, or returns nil when the op is not
-// sampled (or the pool is exhausted). The strings should be static or
+// SlowThreshold returns the current slow-op threshold. OSDs consult it
+// to self-promote their hops onto replies for over-threshold serves
+// even when the request carries no trace id (tail capture).
+func (t *Tracer) SlowThreshold() vtime.Duration {
+	if t == nil {
+		return 0
+	}
+	return vtime.Duration(t.slowThresh.Load())
+}
+
+// Start begins a span for one op. Every op claims a slot (tail capture
+// needs the timing even off-stride); only sampled ops get a wire trace
+// id, so unsampled requests stay byte-identical on the wire. Returns
+// nil only when the pool is exhausted. The strings should be static or
 // already-retained — they are stored by reference, never copied.
 func (t *Tracer) Start(op, target string, bytes int64, at vtime.Time) *Span {
 	if t == nil {
 		return nil
 	}
 	n := t.tick.Add(1)
-	if every := t.every.Load(); every > 1 && n%every != 0 {
-		return nil
+	every := t.every.Load()
+	sampled := every <= 1 || n%every == 0
+	var id uint64
+	if sampled {
+		id = uint64(n)
 	}
 	// Claim a slot with a short bounded probe; contention beyond it
 	// means plenty of traces are already in flight — drop this one.
 	for i := int64(0); i < 8; i++ {
 		s := &t.slots[uint64(n+i)%spanSlots]
 		if s.busy.CompareAndSwap(false, true) {
-			s.rec = SpanRecord{TraceID: uint64(n), Op: op, Target: target, Bytes: bytes, Start: at}
+			s.rec = SpanRecord{TraceID: id, Op: op, Target: target, Bytes: bytes, Start: at, Sampled: sampled}
 			t.started.Inc()
 			return s
 		}
@@ -168,6 +190,10 @@ func (s *Span) TraceID() uint64 {
 	return s.rec.TraceID
 }
 
+// Sampled reports whether the span was chosen by the every-Nth stream
+// (false for tail-capture-only spans and for nil spans).
+func (s *Span) Sampled() bool { return s != nil && s.rec.Sampled }
+
 // Hop records one layer crossing. Nil-safe; hops beyond MaxHops are
 // silently dropped.
 func (s *Span) Hop(name string, start, end vtime.Time) {
@@ -180,9 +206,11 @@ func (s *Span) Hop(name string, start, end vtime.Time) {
 	}
 }
 
-// Finish completes the span at virtual time end, copies it into the
-// recent ring (and the slow log when at/above threshold), and returns
-// the slot to the pool. Nil-safe.
+// Finish completes the span at virtual time end. Sampled spans are
+// copied into the recent ring; any span at/above the slow threshold —
+// sampled or not — is promoted into the slow log (tail capture).
+// Unsampled, fast spans take neither ring and skip the mutex entirely,
+// so the per-op cost of always claiming stays a CAS pair. Nil-safe.
 func (s *Span) Finish(end vtime.Time) {
 	if s == nil {
 		return
@@ -190,14 +218,18 @@ func (s *Span) Finish(end vtime.Time) {
 	s.rec.End = end
 	t := s.tr
 	slow := int64(s.rec.Duration()) >= t.slowThresh.Load()
-	t.mu.Lock()
-	t.recent[t.recentN%recentSpans] = s.rec
-	t.recentN++
-	if slow {
-		t.slow[t.slowN%slowSpans] = s.rec
-		t.slowN++
+	if s.rec.Sampled || slow {
+		t.mu.Lock()
+		if s.rec.Sampled {
+			t.recent[t.recentN%recentSpans] = s.rec
+			t.recentN++
+		}
+		if slow {
+			t.slow[t.slowN%slowSpans] = s.rec
+			t.slowN++
+		}
+		t.mu.Unlock()
 	}
-	t.mu.Unlock()
 	t.finished.Inc()
 	if slow {
 		t.slowOps.Inc()
@@ -206,18 +238,30 @@ func (s *Span) Finish(end vtime.Time) {
 	s.busy.Store(false)
 }
 
-// Recent returns the finished traces still in the ring, newest first.
+// Recent returns the finished sampled traces still in the ring, newest
+// span end first (claim order interleaves confusingly under
+// concurrency).
 func (t *Tracer) Recent() []SpanRecord {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return ringCopy(t.recent[:], t.recentN)
+	out := ringCopy(t.recent[:], t.recentN)
+	t.mu.Unlock()
+	sortByEnd(out)
+	return out
 }
 
-// Slow returns the retained slow-op traces, newest first.
+// Slow returns the retained slow-op traces, newest span end first.
 func (t *Tracer) Slow() []SpanRecord {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return ringCopy(t.slow[:], t.slowN)
+	out := ringCopy(t.slow[:], t.slowN)
+	t.mu.Unlock()
+	sortByEnd(out)
+	return out
+}
+
+// sortByEnd orders records newest-End-first, stably so ring order (the
+// claim sequence) breaks ties.
+func sortByEnd(recs []SpanRecord) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].End > recs[j].End })
 }
 
 // ringCopy extracts a ring's live records newest-first; n is the total

@@ -26,6 +26,7 @@ type Pacer struct {
 	next    Time     // earliest virtual start of the next admitted op
 	opCost  Duration // 1/IOPS, charged per admitted operation
 	perByte float64  // nanoseconds per byte of walker payload
+	stall   Duration // cumulative admission delay handed to callers
 }
 
 // NewPacer builds a pacer capping admitted work at iops operations per
@@ -54,9 +55,24 @@ func (p *Pacer) Admit(at Time, n int64) Time {
 	}
 	p.mu.Lock()
 	start := Max(at, p.next)
+	p.stall += start.Sub(at)
 	p.next = start.Add(p.opCost + Duration(float64(n)*p.perByte))
 	p.mu.Unlock()
 	return start
+}
+
+// Stall reports the cumulative virtual time Admit has delayed callers —
+// how much of the walker's wall time was spent waiting on its own
+// budget rather than doing work. Monotonic; walkers export it as a
+// gauge (this package cannot import telemetry) so the attribution plane
+// can separate "the walker is slow" from "the walker is throttled".
+func (p *Pacer) Stall() Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stall
 }
 
 // Charge adds n payload bytes to the budget retroactively — the shape

@@ -51,6 +51,7 @@ import (
 	"repro/internal/rbd"
 	"repro/internal/scrub"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/attr"
 	"repro/internal/telemetry/health"
 	"repro/internal/vtime"
 )
@@ -108,6 +109,14 @@ type (
 	// TraceRecord is one finished per-op trace span (see
 	// internal/telemetry and METRICS.md).
 	TraceRecord = telemetry.SpanRecord
+	// AttributionReport is a point-in-time snapshot of the always-on
+	// per-phase latency accounting (see internal/telemetry/attr).
+	AttributionReport = attr.Report
+	// SlowOp is one captured over-threshold op with its critical-path
+	// analysis (straggler replica, dominant phase).
+	SlowOp = attr.SlowOp
+	// CriticalPath is the analyzed hop tree of one trace span.
+	CriticalPath = attr.CriticalPath
 	// Event is one structured lifecycle event from the process journal
 	// (epoch transitions, walker start/finish, faults, repairs).
 	Event = telemetry.Event
@@ -295,6 +304,28 @@ func RecentTraces() []TraceRecord { return telemetry.Ops.Recent() }
 // SlowTraces returns the slowest recent spans (those exceeding the
 // tracer's slow-op threshold), newest first.
 func SlowTraces() []TraceRecord { return telemetry.Ops.Slow() }
+
+// Attribution snapshots the always-on per-phase latency accounting: for
+// each op class (read/write/other), where its virtual time went —
+// queue, wire, serve, replicate, seal/open, device — over 100% of
+// traffic, not the tracer's sample (see METRICS.md "Attribution").
+func Attribution() AttributionReport { return attr.Table() }
+
+// SlowOps returns every captured over-threshold op, newest first, each
+// with its critical-path analysis: the hop tree, the dominant phase,
+// and the straggler replica OSD on replicated writes. Capture is
+// exact — any op at or past the slow threshold lands here with its
+// full phase breakdown, whether or not it was in the trace sample.
+func SlowOps() []SlowOp { return attr.SlowOps() }
+
+// SetTraceSampleEvery sets the tracer's sampling stride: one in every n
+// ops gets a full wire-propagated trace (n <= 1 traces everything).
+// Slow-op capture is unaffected — over-threshold ops are always kept.
+func SetTraceSampleEvery(n int64) { telemetry.Ops.SetSampleEvery(n) }
+
+// SetSlowOpThreshold sets the virtual duration at or past which an op
+// is promoted into the slow ring with its phase breakdown.
+func SetSlowOpThreshold(d Duration) { telemetry.Ops.SetSlowThreshold(d) }
 
 // Events returns the structured lifecycle events journalled so far,
 // newest first: key-epoch transitions, walker start/finish, fault
